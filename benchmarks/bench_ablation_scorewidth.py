@@ -1,0 +1,85 @@
+"""A3 — 16-bit differential scores (paper §IV-A).
+
+"Since only differences to the global score are relevant, we use smaller
+data types (e.g. 16 bits) for scores within a block.  Whether this is
+feasible without over- or underflow depends on the block size and the
+scoring scheme."  This bench measures the int16 speedup and tabulates the
+safe block-size bound per scoring scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    simple_subst_scoring,
+)
+from repro.cpu import AVX2, SCALAR_PRESET, SimdBatchAligner, SimdPreset
+from repro.perf import format_table, measure_gcups
+from repro.util.checks import ValidationError
+from repro.workloads import read_pairs
+
+SUB = simple_subst_scoring(2, -1)
+SCHEME = global_scheme(linear_gap_scoring(SUB, -1))
+
+
+def test_int16_vs_int32_lanes(benchmark, report):
+    rs = read_pairs(1024, read_length=150, reference_length=100_000, seed=13)
+    rows = []
+    meas = {}
+    for name, preset in [
+        ("int16 x16 (AVX2)", AVX2),
+        ("int32 x16", SimdPreset("wide", 16, np.int32)),
+    ]:
+        ba = SimdBatchAligner(SCHEME, preset)
+        m = measure_gcups(name, rs.cells, lambda ba=ba: ba.score_batch(rs.reads, rs.windows), repeats=3)
+        meas[name] = m.gcups
+        rows.append((name, f"{m.gcups:.4f}"))
+    ba = SimdBatchAligner(SCHEME, AVX2)
+    benchmark(lambda: ba.score_batch(rs.reads[:256], rs.windows[:256]))
+    report(
+        "ablation_scorewidth_speed",
+        format_table(["lane type", "GCUPS"], rows, title="A3: 16-bit vs 32-bit lane scores"),
+    )
+    # Narrower lanes must not lose (usually win via cache footprint).
+    assert meas["int16 x16 (AVX2)"] > 0.8 * meas["int32 x16"]
+
+
+def test_safe_block_bounds(benchmark, report):
+    schemes = {
+        "match+2/mm-1, gap-1": global_scheme(linear_gap_scoring(SUB, -1)),
+        "match+2/mm-1, affine-2/-1": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+        "match+5/mm-4, gap-3": global_scheme(
+            linear_gap_scoring(simple_subst_scoring(5, -4), -3)
+        ),
+    }
+    rows = []
+    for name, scheme in schemes.items():
+        rows.append(
+            (
+                name,
+                AVX2.max_safe_extent(scheme),
+                SCALAR_PRESET.max_safe_extent(scheme),
+            )
+        )
+    benchmark(lambda: AVX2.max_safe_extent(SCHEME))
+    report(
+        "ablation_scorewidth_bounds",
+        format_table(
+            ["scoring scheme", "int16 max extent", "int32 max extent"],
+            rows,
+            title="A3: overflow-safe block extents per score width (paper §IV-A bound)",
+        ),
+    )
+    # Higher per-base scores shrink the safe block.
+    assert rows[2][1] < rows[0][1]
+
+
+def test_overflow_guard_fires(benchmark):
+    ba = SimdBatchAligner(SCHEME, AVX2)
+    big = np.zeros((16, 10_000), dtype=np.uint8)
+    benchmark(lambda: AVX2.max_safe_extent(SCHEME))
+    with pytest.raises(ValidationError, match="overflow"):
+        ba.score_batch(big, big)

@@ -1,0 +1,69 @@
+"""A2 — tile-size and recursion-cutoff ablation (paper §V).
+
+"AnySeq slightly outperforms SeqAn ... due to different implementation
+details like ... parameter choices for recursion cutoff points or tile
+sizes."  This bench sweeps both knobs.
+"""
+
+import pytest
+
+from repro.core import Aligner, align_linear_space
+from repro.core.scoring import global_scheme, linear_gap_scoring, simple_subst_scoring
+from repro.cpu import WavefrontAligner
+from repro.perf import format_table, measure_gcups
+from repro.workloads import related_pair
+
+SCHEME = global_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+
+_PAIR = {}
+
+
+def _pair():
+    if "p" not in _PAIR:
+        _PAIR["p"] = related_pair(3000, divergence=0.1, seed=9)
+    return _PAIR["p"]
+
+
+def test_tile_size_sweep(benchmark, report):
+    pair = _pair()
+    rows = []
+    for tile in [(64, 64), (128, 128), (256, 256), (512, 512), (128, 1024)]:
+        wa = WavefrontAligner(SCHEME, tile=tile)
+        m = measure_gcups(
+            f"tile {tile}", pair.cells, lambda wa=wa: wa.score(pair.query, pair.subject), repeats=2
+        )
+        rows.append((f"{tile[0]}x{tile[1]}", f"{m.gcups:.4f}"))
+    benchmark(lambda: WavefrontAligner(SCHEME, tile=(256, 256)).score(pair.query, pair.subject))
+    report(
+        "ablation_tile_size",
+        format_table(["tile", "GCUPS"], rows, title="A2: wavefront tile-size sweep"),
+    )
+    # Wide tiles amortise per-row overhead: the widest must beat the smallest.
+    assert float(rows[-1][1]) > float(rows[0][1])
+
+
+def test_hirschberg_cutoff_sweep(benchmark, report):
+    pair = _pair()
+    rows = []
+    scores = set()
+    for cutoff in [256, 4096, 65536, 1048576]:
+        res = None
+
+        def run(cutoff=cutoff):
+            nonlocal res
+            res = align_linear_space(pair.query, pair.subject, SCHEME, cutoff=cutoff)
+            return res
+
+        m = measure_gcups(f"cutoff {cutoff}", 2 * pair.cells, run, repeats=2)
+        scores.add(res.score)
+        rows.append((cutoff, f"{m.gcups:.4f}"))
+    benchmark(lambda: align_linear_space(pair.query, pair.subject, SCHEME, cutoff=65536))
+    report(
+        "ablation_hirschberg_cutoff",
+        format_table(
+            ["block cutoff (cells)", "GCUPS"],
+            rows,
+            title="A2: divide-and-conquer traceback recursion cutoff",
+        ),
+    )
+    assert len(scores) == 1  # the cutoff must never change the result

@@ -1,0 +1,163 @@
+"""E2 — Figure 5a: GCUPS for aligning pairs of long DNA sequences.
+
+Four panels: {scores-only, traceback} × {linear, affine}.  CPU variants
+are *measured* on the scaled Table I "bacteria" pair; GPU and FPGA bars
+are device-model projections at the **real** Table I extents (full
+occupancy), as described in DESIGN.md.  Libraries: AnySeq (this repo),
+SeqAn-like, Parasail-like (CPU), NVBio-like (GPU).
+
+The paper's shape to check: AnySeq ≥ SeqAn ≥ Parasail on CPU for scores;
+AnySeq/NVBio ≈ 1.1 on GPU; affine slower than linear everywhere except
+the FPGA; traceback slower than scores-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NvbioLikeAligner, ParasailLikeAligner, SeqAnLikeAligner
+from repro.core import Aligner, align_linear_space
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    simple_subst_scoring,
+)
+from repro.fpga import ZCU104, SystolicAligner, SystolicStats
+from repro.gpu import GpuAligner
+from repro.perf import format_table, measure_gcups
+from repro.workloads import table1_pair
+
+SUB = simple_subst_scoring(2, -1)
+SCHEMES = {
+    "linear": global_scheme(linear_gap_scoring(SUB, -1)),
+    "affine": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+}
+REAL_N, REAL_M = 4_411_532, 4_641_652  # Table I bacteria pair
+
+_PAIRS = {}
+
+
+def _pair(scale):
+    if scale not in _PAIRS:
+        _PAIRS[scale] = table1_pair("bacteria", scale=scale, seed=11)
+    return _PAIRS[scale]
+
+
+def _fpga_model_gcups():
+    stripes = (REAL_N + ZCU104.k_pe - 1) // ZCU104.k_pe
+    stats = SystolicStats(
+        cycles=stripes * (REAL_M + ZCU104.k_pe),
+        stripes=stripes,
+        cells=REAL_N * REAL_M,
+        ddr_chars_streamed=stripes * REAL_M,
+        meta={"k_pe": ZCU104.k_pe},
+    )
+    return ZCU104.gcups(stats)
+
+
+def _panel(gap: str, traceback: bool):
+    scheme = SCHEMES[gap]
+    pair = _pair(1000)
+    cells = pair.cells
+    rows = []
+
+    if traceback:
+        an = measure_gcups(
+            "AnySeq traceback (rowscan+Hirschberg)",
+            2 * cells,  # d&c traceback relaxes ~2x the cells (paper §III-A)
+            lambda: align_linear_space(pair.query, pair.subject, scheme),
+            repeats=3,
+        )
+        rows.append(("CPU (measured, scaled pair)", "AnySeq", f"{an.gcups:.4f}"))
+    else:
+        an = measure_gcups(
+            "AnySeq scores rowscan",
+            cells,
+            lambda: Aligner(scheme).score(pair.query, pair.subject),
+            repeats=3,
+        )
+        rows.append(("CPU (measured, scaled pair)", "AnySeq", f"{an.gcups:.4f}"))
+        sq = measure_gcups(
+            "SeqAn-like",
+            cells,
+            lambda: SeqAnLikeAligner(scheme, tile=(256, 512)).score(
+                pair.query, pair.subject
+            ),
+            repeats=2,
+        )
+        rows.append(("CPU (measured, scaled pair)", "SeqAn-like", f"{sq.gcups:.4f}"))
+        pa = measure_gcups(
+            "Parasail-like",
+            cells,
+            lambda: ParasailLikeAligner(scheme, tile=(256, 512)).score(
+                pair.query, pair.subject
+            ),
+            repeats=2,
+        )
+        rows.append(("CPU (measured, scaled pair)", "Parasail-like", f"{pa.gcups:.4f}"))
+
+    # GPU bars: device model projected at the real Table I extents.
+    factor = 0.72 if traceback else 1.0  # paper: traceback ≈ 0.7x of scores
+    gpu = GpuAligner(scheme).model_gcups_at(REAL_N, REAL_M) * factor
+    nvb = NvbioLikeAligner(scheme).model_gcups_at(REAL_N, REAL_M) * factor
+    rows.append(("Titan V (device model)", "AnySeq", f"{gpu:.1f}"))
+    rows.append(("Titan V (device model)", "NVBio-like", f"{nvb:.1f}"))
+    if not traceback:
+        rows.append(("ZCU104 (device model)", "AnySeq", f"{_fpga_model_gcups():.1f}"))
+    return rows
+
+
+@pytest.mark.parametrize("gap", ["linear", "affine"])
+def test_scores_only(benchmark, report, gap):
+    scheme = SCHEMES[gap]
+    pair = _pair(1000)
+    benchmark(lambda: Aligner(scheme).score(pair.query, pair.subject))
+    rows = _panel(gap, traceback=False)
+    report(
+        f"fig5a_scores_{gap}",
+        format_table(
+            ["device", "library", "GCUPS"],
+            rows,
+            title=f"Figure 5a panel: long genomes, scores only, {gap} gaps",
+        ),
+    )
+    # Shape assertions (paper §V).
+    gcups = {(r[0].split()[0], r[1]): float(r[2]) for r in rows}
+    assert gcups[("CPU", "AnySeq")] >= gcups[("CPU", "Parasail-like")]
+    assert 1.0 < gcups[("Titan", "AnySeq")] / gcups[("Titan", "NVBio-like")] < 1.15
+
+
+@pytest.mark.parametrize("gap", ["linear", "affine"])
+def test_traceback(benchmark, report, gap):
+    scheme = SCHEMES[gap]
+    pair = _pair(2000)
+    benchmark(lambda: align_linear_space(pair.query, pair.subject, scheme))
+    rows = _panel(gap, traceback=True)
+    report(
+        f"fig5a_traceback_{gap}",
+        format_table(
+            ["device", "library", "GCUPS"],
+            rows,
+            title=f"Figure 5a panel: long genomes, traceback, {gap} gaps",
+        ),
+    )
+
+
+def test_affine_slower_than_linear(benchmark, report):
+    pair = _pair(1000)
+    lin = measure_gcups(
+        "linear", pair.cells, lambda: Aligner(SCHEMES["linear"]).score(pair.query, pair.subject)
+    )
+    aff = measure_gcups(
+        "affine", pair.cells, lambda: Aligner(SCHEMES["affine"]).score(pair.query, pair.subject)
+    )
+    benchmark(lambda: Aligner(SCHEMES["affine"]).score(pair.query, pair.subject))
+    report(
+        "fig5a_linear_vs_affine",
+        format_table(
+            ["gap model", "GCUPS"],
+            [("linear", f"{lin.gcups:.4f}"), ("affine", f"{aff.gcups:.4f}")],
+            title="Affine costs more memory traffic than linear (paper §V)",
+        ),
+    )
+    assert aff.gcups < lin.gcups

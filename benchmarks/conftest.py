@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and report plumbing.
+
+Every bench writes its paper-shaped table to ``benchmarks/results/`` and
+echoes it to the terminal (bypassing capture), so
+``pytest benchmarks/ --benchmark-only`` leaves both the pytest-benchmark
+timing table and the reproduction tables in the transcript.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Callable fixture: report(name, text) persists and prints a table."""
+
+    def _report(name: str, text: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

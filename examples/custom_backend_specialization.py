@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Inside the partial evaluator: how one codebase becomes many kernels.
+
+Shows the paper's core mechanism end to end: the same generic relaxation,
+traced with different compile-time parameters, yields visibly different
+specialized kernels — ν = −∞ disappears for global alignments, E/F
+buffers exist only for affine gaps, simple scoring inlines to a compare.
+Then runs the same pair on every backend (rowscan, tiled wavefront,
+simulated GPU, systolic FPGA) and checks they agree exactly.
+
+Run:  python examples/custom_backend_specialization.py
+"""
+
+import numpy as np
+
+from repro import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    simple_subst_scoring,
+)
+from repro.core import Aligner
+from repro.core.kernels import build_rowscan_kernel
+from repro.cpu import WavefrontAligner
+from repro.fpga import SystolicAligner
+from repro.gpu import GpuAligner
+from repro.workloads import related_pair
+
+SUB = simple_subst_scoring(2, -1)
+
+# --- 1. Inspect the generated kernels ---------------------------------------
+for label, scheme in [
+    ("global + linear", global_scheme(linear_gap_scoring(SUB, -1))),
+    ("local  + affine", local_scheme(affine_gap_scoring(SUB, -2, -1))),
+]:
+    kern = build_rowscan_kernel(scheme)
+    print(f"=== specialized kernel: {label} ===")
+    print(kern.source)
+
+print("note: no ν clamp or E buffer in the global/linear kernel — the")
+print("partial evaluator removed every abstraction that variant doesn't use.\n")
+
+# --- 2. One pair, four backends, one answer ---------------------------------
+scheme = global_scheme(affine_gap_scoring(SUB, -2, -1))
+pair = related_pair(1200, divergence=0.12, seed=7)
+
+backends = {
+    "rowscan (staged kernel)": lambda: Aligner(scheme).score(pair.query, pair.subject),
+    "tiled dynamic wavefront": lambda: WavefrontAligner(scheme, tile=(128, 256)).score(
+        pair.query, pair.subject
+    ),
+    "simulated GPU (striped)": lambda: GpuAligner(scheme, tile=(128, 128)).score(
+        pair.query, pair.subject
+    ),
+    "systolic FPGA (128 PEs)": lambda: SystolicAligner(scheme, k_pe=128).score(
+        pair.query, pair.subject
+    ),
+}
+scores = {}
+for name, fn in backends.items():
+    scores[name] = fn()
+    print(f"{name:<26} score = {scores[name]}")
+assert len(set(scores.values())) == 1, "backends disagree!"
+print("\nall four hardware mappings produce the identical optimal score.")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Quickstart: the public API in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    affine_gap_scoring,
+    align,
+    align_score,
+    global_scheme,
+    local_scheme,
+    simple_subst_scoring,
+)
+
+# --- 1. Default scheme: global alignment, match +2 / mismatch -1, gap -1 ---
+res = align("ACGTACGTTACT", "ACGTCGTTACGT")
+print("score:", res.score)
+print("cigar:", res.cigar())
+print(res.pretty())
+
+# --- 2. Score only (linear space, fastest path) -----------------------------
+print("score-only:", align_score("ACGTACGTTACT", "ACGTCGTTACGT"))
+
+# --- 3. Compose a custom scheme, exactly like the paper's API ---------------
+#     global_scheme(linear_gap_scoring(simple_subst_scoring(2,-1), -1))
+scheme = local_scheme(affine_gap_scoring(simple_subst_scoring(3, -2), -4, -1))
+res = align("TTTTACGTACGTACGTTTT", "GGGGACGTACGAACGTGGG", scheme)
+print("local affine segment:", res.query_aligned, "/", res.subject_aligned)
+print("segment spans: query", (res.query_start, res.query_end),
+      "subject", (res.subject_start, res.subject_end))
+
+# --- 4. Batches use SIMD lanes automatically --------------------------------
+from repro.core import align_batch_scores  # noqa: E402
+
+queries = ["ACGTACGTACGTACG", "TTGACCAGTTGACCA", "GGGTTTAAACCCGGG"]
+subjects = ["ACGTACCTACGTACG", "TTGACCAGTTGACCA", "GGGTTTTAACCCGGG"]
+print("batch scores:", list(align_batch_scores(queries, subjects)))

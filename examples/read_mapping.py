@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""NGS read mapping (paper use case ii).
+
+Simulates an Illumina read set from a synthetic reference (Mason
+substitute), scores every read against its candidate window with
+semi-global alignment in SIMD lanes, and reconstructs CIGAR strings for
+the best hits — the core inner loop of a read mapper.
+
+Run:  python examples/read_mapping.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import linear_gap_scoring, semiglobal_scheme, simple_subst_scoring
+from repro.core import align_linear_space
+from repro.cpu import AVX2, SimdBatchAligner
+from repro.workloads import read_pairs
+
+scheme = semiglobal_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+
+COUNT = 512
+rs = read_pairs(COUNT, read_length=150, reference_length=100_000, seed=99)
+print(f"{COUNT} simulated 150bp reads against "
+      f"{rs.windows.shape[1]}bp candidate windows "
+      f"({rs.cells / 1e6:.1f}M DP cells)")
+
+# --- lane-vectorized scoring pass (16 x int16 lanes, AVX2 preset) -----------
+batch = SimdBatchAligner(scheme, AVX2)
+t0 = time.perf_counter()
+scores = batch.score_batch(rs.reads, rs.windows)
+dt = time.perf_counter() - t0
+print(f"scored in {dt * 1e3:.0f} ms  ->  {rs.cells / dt / 1e9:.3f} GCUPS")
+
+perfect = int((scores == 2 * rs.read_length).sum())
+print(f"perfect placements: {perfect}/{COUNT} "
+      f"(rest carry simulated sequencing errors)")
+
+# --- traceback for the five worst-scoring reads -----------------------------
+worst = np.argsort(scores)[:5]
+print("\nworst five reads (errors visible in the CIGAR):")
+for k in worst:
+    res = align_linear_space(rs.reads[k], rs.windows[k], scheme)
+    assert res.score == scores[k]
+    print(f"  read {k:4d}  score {res.score:3d}  "
+          f"pos {rs.positions[k]:6d}  cigar {res.cigar()}")

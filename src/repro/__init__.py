@@ -1,0 +1,68 @@
+"""repro — AnySeq reproduction: partial-evaluation-based sequence alignment.
+
+Public API quickstart::
+
+    from repro import align, default_scheme
+    res = align("ACGTACGT", "ACGTCGT")  # global, +2/-1, linear gap -1
+    print(res.score, res.cigar())
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from the paper's systems and experiments to modules in this package.
+"""
+
+from repro.core import (
+    AffineGap,
+    AlignmentResult,
+    AlignmentScheme,
+    AlignmentType,
+    LinearGap,
+    Scoring,
+    Substitution,
+    affine_gap_scoring,
+    default_scheme,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    matrix_subst_scoring,
+    rescore_alignment,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineGap",
+    "AlignmentResult",
+    "AlignmentScheme",
+    "AlignmentType",
+    "LinearGap",
+    "Scoring",
+    "Substitution",
+    "affine_gap_scoring",
+    "default_scheme",
+    "global_scheme",
+    "linear_gap_scoring",
+    "local_scheme",
+    "matrix_subst_scoring",
+    "rescore_alignment",
+    "semiglobal_scheme",
+    "simple_subst_scoring",
+    "align",
+    "align_score",
+    "__version__",
+]
+
+
+def align(query, subject, scheme=None, **kwargs):
+    """Compute an alignment (score + gapped strings). See repro.core.api."""
+    from repro.core.api import align as _align
+
+    return _align(query, subject, scheme=scheme, **kwargs)
+
+
+def align_score(query, subject, scheme=None, **kwargs):
+    """Compute only the optimal score (linear space). See repro.core.api."""
+    from repro.core.api import align_score as _align_score
+
+    return _align_score(query, subject, scheme=scheme, **kwargs)

@@ -1,0 +1,17 @@
+"""Comparator reimplementations: SeqAn-, Parasail-, SSW-, and NVBio-like."""
+
+from repro.baselines.base import BASELINES, BaselineAligner, register_baseline
+from repro.baselines.seqan_like import SeqAnLikeAligner
+from repro.baselines.parasail_like import ParasailLikeAligner
+from repro.baselines.ssw_like import SswLikeAligner
+from repro.baselines.nvbio_like import NvbioLikeAligner
+
+__all__ = [
+    "BASELINES",
+    "BaselineAligner",
+    "register_baseline",
+    "SeqAnLikeAligner",
+    "ParasailLikeAligner",
+    "SswLikeAligner",
+    "NvbioLikeAligner",
+]

@@ -1,0 +1,35 @@
+"""Baseline comparator interface.
+
+The paper benchmarks AnySeq against SeqAn 2.4 (CPU), Parasail 2.0 (CPU),
+SSW (CPU, local) and NVBio 1.1 (GPU).  The binaries are unavailable
+offline, so each comparator is reimplemented from its *documented design*
+(cited in each module); the benchmark comparisons are therefore between
+strategies, which is what Figure 5 actually attributes its differences to.
+Every baseline is correctness-tested against the reference DP, so
+performance differences are never correctness artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["BaselineAligner", "BASELINES", "register_baseline"]
+
+#: name -> class registry used by the benchmark harness.
+BASELINES: dict = {}
+
+
+def register_baseline(name: str):
+    def wrap(cls):
+        BASELINES[name] = cls
+        cls.baseline_name = name
+        return cls
+
+    return wrap
+
+
+@runtime_checkable
+class BaselineAligner(Protocol):
+    """Minimal protocol the benches drive: score one pair."""
+
+    def score(self, query, subject) -> int: ...

@@ -1,0 +1,45 @@
+"""SeqAn-style comparator (Reinert et al. 2017, Rahn et al. 2018).
+
+SeqAn 2.4's accelerated alignment uses a dynamic wavefront over tiles —
+like AnySeq — but vectorizes *within* tiles over anti-diagonals using
+low-level intrinsics, emulating control flow with masked data flow (the
+paper's §V discussion).  The reimplementation therefore shares AnySeq's
+scheduler but swaps the tile kernel for the anti-diagonal masked sweep
+(:func:`repro.gpu.striped._relax_stripe_antidiag` — the same dataflow a
+masked SIMD implementation executes), whose boundary masking work is the
+structural cost the paper attributes to this approach.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import register_baseline
+from repro.core.types import AlignmentScheme
+from repro.cpu.wavefront import WavefrontAligner
+from repro.gpu.striped import relax_tile_striped
+
+__all__ = ["SeqAnLikeAligner"]
+
+
+@register_baseline("seqan")
+class SeqAnLikeAligner(WavefrontAligner):
+    """Dynamic wavefront with anti-diagonal (masked-SIMD-style) tiles."""
+
+    def __init__(
+        self,
+        scheme: AlignmentScheme | None = None,
+        tile: tuple[int, int] = (256, 256),
+        simd_width: int = 16,
+        threads: int = 1,
+    ):
+        super().__init__(scheme, tile=tile, lanes=1, threads=threads, scheduler="dynamic")
+        self.simd_width = simd_width
+
+    def _relax_one(self, run, tile, lock):
+        th, tw = self.tile
+        qt = run.q[tile.ti * th : tile.ti * th + tile.rows]
+        st = run.s[tile.tj * tw : tile.tj * tw + tile.cols]
+        borders = self._borders_for(run, tile)
+        res = relax_tile_striped(
+            qt, st, self.scheme, borders, stripe_height=self.simd_width
+        )
+        self._commit(run, tile, res, lock)

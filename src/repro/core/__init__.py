@@ -1,0 +1,80 @@
+"""AnySeq core: the paper's alignment library (types, scoring, kernels)."""
+
+from repro.core.types import (
+    NEG_INF,
+    AffineGap,
+    AlignmentResult,
+    AlignmentScheme,
+    AlignmentType,
+    LinearGap,
+    Scoring,
+    Substitution,
+)
+from repro.core.scoring import (
+    affine_gap_scoring,
+    default_scheme,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    matrix_subst_scoring,
+    rescore_alignment,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.recurrence import align_reference, dp_matrices, score_reference
+from repro.core.aligner import Aligner, BACKEND_FACTORIES, register_backend
+from repro.core.kernels import fill_matrix, score_lanes, score_rowscan
+from repro.core.traceback import align_block, align_linear_space
+from repro.core.banded import banded_score
+from repro.core.api import (
+    align,
+    align_batch_scores,
+    align_score,
+    compute_global_score,
+    compute_local_score,
+    compute_semiglobal_score,
+    construct_global_alignment,
+    construct_local_alignment,
+    construct_semiglobal_alignment,
+)
+
+__all__ = [
+    "Aligner",
+    "BACKEND_FACTORIES",
+    "register_backend",
+    "fill_matrix",
+    "score_lanes",
+    "score_rowscan",
+    "align_block",
+    "align_linear_space",
+    "banded_score",
+    "align",
+    "align_batch_scores",
+    "align_score",
+    "compute_global_score",
+    "compute_local_score",
+    "compute_semiglobal_score",
+    "construct_global_alignment",
+    "construct_local_alignment",
+    "construct_semiglobal_alignment",
+    "NEG_INF",
+    "AffineGap",
+    "AlignmentResult",
+    "AlignmentScheme",
+    "AlignmentType",
+    "LinearGap",
+    "Scoring",
+    "Substitution",
+    "affine_gap_scoring",
+    "default_scheme",
+    "global_scheme",
+    "linear_gap_scoring",
+    "local_scheme",
+    "matrix_subst_scoring",
+    "rescore_alignment",
+    "semiglobal_scheme",
+    "simple_subst_scoring",
+    "align_reference",
+    "dp_matrices",
+    "score_reference",
+]

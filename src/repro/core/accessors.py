@@ -1,0 +1,146 @@
+"""Data access abstractions (paper §III-B).
+
+AnySeq never touches storage directly: sequences, DP rows, and matrices are
+read through *accessor objects* whose methods encapsulate indexing, layout,
+and direction.  Because accessors run at **trace time**, every indirection
+they introduce is gone after partial evaluation — exchanging an accessor
+changes the generated loads/stores, not the kernel that uses them.
+
+These accessors build IR against a :class:`~repro.stage.KernelBuilder`; the
+GPU simulator has its own runtime-level accessor in
+:mod:`repro.gpu.memory` (coalesced layouts), which plays the role of the
+paper's ``view_matrix_coal_offset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stage.ir import Expr, Load, Slice, as_expr
+
+__all__ = ["SequenceView", "RowView", "TableView", "MatrixView"]
+
+
+@dataclass(frozen=True)
+class SequenceView:
+    """Read-only view of an encoded sequence parameter (paper's ``Sequence``).
+
+    ``length`` is the *static or dynamic* length expression; ``reverse=True``
+    flips the indexing — this is exactly how the divide-and-conquer traceback
+    reverses inputs "by reversing the indexing in the sequence accessor".
+    ``lanes=True`` marks a batched (2-D) sequence array; all reads then keep
+    a leading ellipsis so the same kernel serves 1-D and 2-D data.
+    """
+
+    array: str
+    length: object  # Expr | int
+    reverse: bool = False
+    lanes: bool = False
+
+    def at(self, i) -> Expr:
+        """Code of the character at 0-based position ``i``."""
+        idx = (as_expr(self.length) - 1 - as_expr(i)) if self.reverse else as_expr(i)
+        return Load(self.array, (Ellipsis, idx)) if self.lanes else Load(self.array, (idx,))
+
+    def col(self, i) -> Expr:
+        """Length-1 slice at position ``i`` (broadcastable column read)."""
+        if self.reverse:
+            base = as_expr(self.length) - 1 - as_expr(i)
+        else:
+            base = as_expr(i)
+        sl = Slice(base, base + 1)
+        return Load(self.array, (Ellipsis, sl)) if self.lanes else Load(self.array, (sl,))
+
+    def whole(self) -> Expr:
+        """The full sequence as one vector value."""
+        if self.reverse:
+            # Reversal of the whole row is done by the driver (a flipped
+            # array is passed); trace-level whole-row reversal would need a
+            # strided load which the vector dialect does not model.
+            raise ValueError("whole() is not available on reversed views")
+        return Load(self.array, (Ellipsis,))
+
+    def reversed_view(self) -> "SequenceView":
+        return SequenceView(self.array, self.length, not self.reverse, self.lanes)
+
+
+@dataclass(frozen=True)
+class RowView:
+    """View of one DP row buffer of logical length ``m``+1.
+
+    Used by the row-sweep kernels: ``cells(a, b)`` reads the half-open
+    column range [a, b); ``put(a, b, v)`` writes it.  All accesses keep a
+    leading ellipsis so lanes (2-D row batches) reuse the same kernel.
+    """
+
+    array: str
+
+    def at(self, j) -> Expr:
+        return Load(self.array, (Ellipsis, as_expr(j)))
+
+    def cells(self, a, b) -> Expr:
+        return Load(self.array, (Ellipsis, Slice(as_expr(a), as_expr(b))))
+
+    def whole(self) -> Expr:
+        return Load(self.array, (Ellipsis,))
+
+    def put(self, builder, a, b, value):
+        builder.store(self.array, (Ellipsis, Slice(as_expr(a), as_expr(b))), value)
+
+    def put_at(self, builder, j, value):
+        builder.store(self.array, (Ellipsis, as_expr(j)), value)
+
+    def put_whole(self, builder, value):
+        builder.store(self.array, (Ellipsis,), value)
+
+
+@dataclass(frozen=True)
+class TableView:
+    """4×4 substitution table parameter; ``lookup`` is a gather."""
+
+    array: str
+
+    def lookup(self, qcol: Expr, srow: Expr) -> Expr:
+        # Advanced indexing broadcasts (lanes,1) query codes against
+        # (lanes,m) subject codes — one gather per row for both layouts.
+        return Load(self.array, (qcol, srow))
+
+
+@dataclass(frozen=True)
+class MatrixView:
+    """Scalar-dialect 2-D matrix accessor with an index remap.
+
+    ``remap`` rewrites (i, j) index expressions at trace time; the default
+    is the identity.  The scalar tile kernels use offset remaps for border
+    stripes; a cyclic-row remap reproduces the paper's row-recycling buffer.
+    """
+
+    array: str
+    remap: object = None  # fn(i_expr, j_expr) -> (i_expr, j_expr)
+
+    def _map(self, i, j):
+        i, j = as_expr(i), as_expr(j)
+        if self.remap is not None:
+            i, j = self.remap(i, j)
+        return i, j
+
+    def read(self, i, j) -> Expr:
+        i, j = self._map(i, j)
+        return Load(self.array, (i, j))
+
+    def write(self, builder, i, j, value):
+        i, j = self._map(i, j)
+        builder.store(self.array, (i, j), value)
+
+
+def cyclic_rows(height) -> object:
+    """Remap factory: wrap the row index modulo ``height``.
+
+    Reproduces the paper's intra-tile cyclic buffer, where a row-sweep
+    recycles physical rows because only the previous row is live.
+    """
+
+    def remap(i, j):
+        return as_expr(i) % as_expr(height), j
+
+    return remap

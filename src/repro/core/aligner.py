@@ -1,0 +1,153 @@
+"""High-level alignment frontend.
+
+:class:`Aligner` binds an :class:`~repro.core.types.AlignmentScheme` to a
+compute backend and exposes score/align/batch entry points.  Kernels are
+specialized lazily on first use and memoized in the global kernel cache, so
+constructing aligners is cheap and repeated use pays no staging cost —
+mirroring how an AnyDSL library compiles one variant per parameter set.
+
+Backends
+--------
+``"rowscan"``
+    Vectorized row sweep (NumPy dialect staged kernel); linear space.  The
+    default for scores.  Batches of equal-shape pairs use the same kernel
+    over SIMD lanes.
+``"scalar"``
+    Scalar-dialect staged kernel filling the full matrix; the paper's
+    non-vectorized CPU variant (slow, kept for benchmarks and small inputs).
+``"reference"``
+    The loop-based oracle from :mod:`repro.core.recurrence`.
+
+The tiled multi-threaded CPU path lives in :mod:`repro.cpu`, the simulated
+GPU/FPGA paths in :mod:`repro.gpu` / :mod:`repro.fpga`; each exposes the
+same ``score``/``align`` protocol and is registered in
+:data:`BACKEND_FACTORIES` for discovery by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.kernels import fill_matrix, score_lanes, score_rowscan
+from repro.core.recurrence import align_reference, score_reference
+from repro.core.scoring import default_scheme
+from repro.core.traceback import (
+    DEFAULT_BLOCK_CUTOFF,
+    align_linear_space,
+)
+from repro.core.types import AlignmentResult, AlignmentScheme
+from repro.util.checks import ValidationError, check_in
+from repro.util.encoding import encode
+
+__all__ = ["Aligner", "BACKEND_FACTORIES", "register_backend"]
+
+#: name -> factory(scheme, **opts) for pluggable score/align backends.
+BACKEND_FACTORIES: dict = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a backend factory for the harness."""
+
+    def wrap(cls):
+        BACKEND_FACTORIES[name] = cls
+        return cls
+
+    return wrap
+
+
+@register_backend("core")
+class Aligner:
+    """Pairwise aligner specialized on one scheme.
+
+    Parameters
+    ----------
+    scheme:
+        Alignment type + scoring; defaults to the paper's benchmark scheme
+        (global, +2/−1, linear −1).
+    backend:
+        ``"rowscan"`` (default), ``"scalar"``, or ``"reference"``.
+    dtype:
+        Score cell width for the vector kernels (``np.int16`` mirrors the
+        paper's 16-bit SIMD lanes and is overflow-checked, ``np.int32``
+        default).
+    traceback_cutoff:
+        DP-cell threshold below which traceback solves one full block;
+        larger values trade memory for fewer recursion levels.
+    """
+
+    def __init__(
+        self,
+        scheme: AlignmentScheme | None = None,
+        backend: str = "rowscan",
+        dtype=np.int32,
+        traceback_cutoff: int = DEFAULT_BLOCK_CUTOFF,
+    ):
+        self.scheme = scheme if scheme is not None else default_scheme()
+        self.backend = check_in(backend, {"rowscan", "scalar", "reference"}, "backend")
+        self.dtype = np.dtype(dtype)
+        self.traceback_cutoff = int(traceback_cutoff)
+        if self.traceback_cutoff <= 0:
+            raise ValidationError("traceback_cutoff must be positive")
+
+    # -- single pair -------------------------------------------------------
+    def score(self, query, subject) -> int:
+        """Optimal alignment score of one pair (linear space)."""
+        q, s = encode(query), encode(subject)
+        if self.backend == "rowscan":
+            return score_rowscan(q, s, self.scheme, dtype=self.dtype)
+        if self.backend == "scalar":
+            return fill_matrix(q, s, self.scheme)[4]
+        return score_reference(q, s, self.scheme)
+
+    def align(self, query, subject) -> AlignmentResult:
+        """Optimal alignment (score + gapped strings), linear space."""
+        q, s = encode(query), encode(subject)
+        if self.backend == "reference":
+            return align_reference(q, s, self.scheme)
+        return align_linear_space(q, s, self.scheme, cutoff=self.traceback_cutoff)
+
+    # -- batches ------------------------------------------------------------
+    def score_batch(self, queries, subjects) -> np.ndarray:
+        """Scores for many independent pairs.
+
+        Pairs whose shapes repeat are grouped and computed in SIMD lanes by
+        one kernel invocation per (n, m) group — the paper's inter-sequence
+        vectorization; singleton shapes fall back to the row-sweep path,
+        like the paper's scalar fallback when fewer than ``l`` submatrices
+        are available.
+        """
+        if len(queries) != len(subjects):
+            raise ValidationError("queries and subjects must pair up")
+        enc_q = [encode(q) for q in queries]
+        enc_s = [encode(s) for s in subjects]
+        out = np.empty(len(enc_q), dtype=np.int64)
+        if self.backend != "rowscan":
+            for k, (q, s) in enumerate(zip(enc_q, enc_s)):
+                out[k] = self.score(q, s)
+            return out
+
+        groups: dict = defaultdict(list)
+        for k, (q, s) in enumerate(zip(enc_q, enc_s)):
+            groups[(q.size, s.size)].append(k)
+        for (n, m), members in groups.items():
+            if len(members) == 1:
+                k = members[0]
+                out[k] = score_rowscan(enc_q[k], enc_s[k], self.scheme, dtype=self.dtype)
+                continue
+            qs = np.stack([enc_q[k] for k in members])
+            ss = np.stack([enc_s[k] for k in members])
+            out[np.asarray(members)] = score_lanes(qs, ss, self.scheme, dtype=self.dtype)
+        return out
+
+    def align_batch(self, queries, subjects) -> list[AlignmentResult]:
+        """Full alignments for many pairs (sequential linear-space runs)."""
+        if len(queries) != len(subjects):
+            raise ValidationError("queries and subjects must pair up")
+        return [self.align(q, s) for q, s in zip(queries, subjects)]
+
+    def __repr__(self):
+        at = self.scheme.alignment_type.value
+        gaps = "affine" if self.scheme.scoring.is_affine else "linear"
+        return f"Aligner({at}, {gaps}, backend={self.backend!r}, dtype={self.dtype})"

@@ -1,0 +1,105 @@
+"""Convenience API and C-wrapper-style entry points (paper §III-C).
+
+AnySeq exports ``extern "C"`` functions per parameterisation scenario so
+other languages can call it; this module mirrors those flat entry points on
+top of :class:`~repro.core.aligner.Aligner`, plus the Pythonic ``align`` /
+``align_score`` helpers re-exported from the package root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aligner import Aligner
+from repro.core.scoring import (
+    affine_gap_scoring,
+    default_scheme,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.types import AlignmentResult, AlignmentScheme
+
+__all__ = [
+    "align",
+    "align_score",
+    "align_batch_scores",
+    "construct_global_alignment",
+    "construct_local_alignment",
+    "construct_semiglobal_alignment",
+    "compute_global_score",
+    "compute_local_score",
+    "compute_semiglobal_score",
+]
+
+
+def align(query, subject, scheme: AlignmentScheme | None = None, **kwargs) -> AlignmentResult:
+    """Compute an optimal alignment (score and gapped strings).
+
+    ``scheme`` defaults to the paper's benchmark scheme (global, match +2,
+    mismatch −1, linear gap −1).  Extra keyword arguments go to
+    :class:`~repro.core.aligner.Aligner`.
+    """
+    return Aligner(scheme, **kwargs).align(query, subject)
+
+
+def align_score(query, subject, scheme: AlignmentScheme | None = None, **kwargs) -> int:
+    """Compute only the optimal score in linear space."""
+    return Aligner(scheme, **kwargs).score(query, subject)
+
+
+def align_batch_scores(queries, subjects, scheme: AlignmentScheme | None = None, **kwargs) -> np.ndarray:
+    """Scores for many independent pairs (lane-vectorized where possible)."""
+    return Aligner(scheme, **kwargs).score_batch(queries, subjects)
+
+
+def _scheme(kind: str, match, mismatch, gap, gap_open, gap_extend) -> AlignmentScheme:
+    sub = simple_subst_scoring(match, mismatch)
+    if gap_open is not None or gap_extend is not None:
+        scoring = affine_gap_scoring(sub, gap_open or 0, gap_extend or 0)
+    else:
+        scoring = linear_gap_scoring(sub, gap)
+    return {
+        "global": global_scheme,
+        "local": local_scheme,
+        "semiglobal": semiglobal_scheme,
+    }[kind](scoring)
+
+
+def construct_global_alignment(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> AlignmentResult:
+    """Paper's ``construct_global_alignment`` C wrapper equivalent."""
+    return align(query, subject, _scheme("global", match, mismatch, gap, gap_open, gap_extend))
+
+
+def construct_local_alignment(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> AlignmentResult:
+    return align(query, subject, _scheme("local", match, mismatch, gap, gap_open, gap_extend))
+
+
+def construct_semiglobal_alignment(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> AlignmentResult:
+    return align(query, subject, _scheme("semiglobal", match, mismatch, gap, gap_open, gap_extend))
+
+
+def compute_global_score(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> int:
+    return align_score(query, subject, _scheme("global", match, mismatch, gap, gap_open, gap_extend))
+
+
+def compute_local_score(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> int:
+    return align_score(query, subject, _scheme("local", match, mismatch, gap, gap_open, gap_extend))
+
+
+def compute_semiglobal_score(
+    query, subject, match=2, mismatch=-1, gap=-1, gap_open=None, gap_extend=None
+) -> int:
+    return align_score(query, subject, _scheme("semiglobal", match, mismatch, gap, gap_open, gap_extend))

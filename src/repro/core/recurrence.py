@@ -1,0 +1,234 @@
+"""Reference dynamic-programming implementation (test oracle).
+
+This module is the *obviously correct* transcription of the paper's
+recurrences (Equations 1–5 and the §III-A initialisation table).  It builds
+the full ``(n+1) × (m+1)`` matrices with plain loops, making it easy to audit
+but quadratic in memory — every optimized path in the library (staged
+kernels, SIMD lanes, tiled wavefronts, GPU stripes, FPGA systolic arrays,
+baseline reimplementations) is tested for exact agreement with this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import (
+    NEG_INF,
+    AlignmentResult,
+    AlignmentScheme,
+    AlignmentType,
+    DPMatrices,
+)
+from repro.util.checks import check_sequence
+from repro.util.encoding import decode
+
+__all__ = ["dp_matrices", "score_reference", "align_reference", "best_cell"]
+
+
+def dp_matrices(query, subject, scheme: AlignmentScheme) -> DPMatrices:
+    """Fill the full DP matrices for ``query`` (length n) vs ``subject`` (m).
+
+    Row index ``i`` walks the query, column index ``j`` the subject, exactly
+    as in the paper's Figure 1.  Returns matrices plus the optimum score and
+    the cell where it is attained (used as the traceback start).
+    """
+    q = check_sequence(np.asarray(query, dtype=np.uint8), "query")
+    s = check_sequence(np.asarray(subject, dtype=np.uint8), "subject")
+    n, m = q.size, s.size
+    at = scheme.alignment_type
+    sub = scheme.scoring.subst.table
+    gaps = scheme.scoring.gaps
+
+    H = np.zeros((n + 1, m + 1), dtype=np.int64)
+    if gaps.is_affine:
+        go, ge = gaps.open, gaps.extend
+        E = np.full((n + 1, m + 1), NEG_INF, dtype=np.int64)
+        F = np.full((n + 1, m + 1), NEG_INF, dtype=np.int64)
+        # Border initialisation (paper §III-A).  E(i,0) and F(0,j) hold the
+        # best score of a pure gap run so a gap can be *extended* across the
+        # border; H borders depend on the alignment type.
+        for i in range(1, n + 1):
+            E[i, 0] = go + i * ge
+        for j in range(1, m + 1):
+            F[0, j] = go + j * ge
+        if at is AlignmentType.GLOBAL:
+            for i in range(1, n + 1):
+                H[i, 0] = go + i * ge
+            for j in range(1, m + 1):
+                H[0, j] = go + j * ge
+        nu = 0 if at is AlignmentType.LOCAL else NEG_INF
+        for i in range(1, n + 1):
+            for j in range(1, m + 1):
+                E[i, j] = max(E[i - 1, j] + ge, H[i - 1, j] + go + ge)
+                F[i, j] = max(F[i, j - 1] + ge, H[i, j - 1] + go + ge)
+                H[i, j] = max(
+                    H[i - 1, j - 1] + sub[q[i - 1], s[j - 1]],
+                    E[i, j],
+                    F[i, j],
+                    nu,
+                )
+    else:
+        g = gaps.gap
+        E = F = None
+        if at is AlignmentType.GLOBAL:
+            for i in range(1, n + 1):
+                H[i, 0] = i * g
+            for j in range(1, m + 1):
+                H[0, j] = j * g
+        nu = 0 if at is AlignmentType.LOCAL else NEG_INF
+        for i in range(1, n + 1):
+            for j in range(1, m + 1):
+                H[i, j] = max(
+                    H[i - 1, j - 1] + sub[q[i - 1], s[j - 1]],
+                    H[i - 1, j] + g,
+                    H[i, j - 1] + g,
+                    nu,
+                )
+
+    score, pos = best_cell(H, at)
+    return DPMatrices(H=H, E=E, F=F, best_score=score, best_pos=pos)
+
+
+def best_cell(H: np.ndarray, at: AlignmentType) -> tuple[int, tuple[int, int]]:
+    """Locate the optimum score cell for an alignment type (paper §III-A)."""
+    n, m = H.shape[0] - 1, H.shape[1] - 1
+    if at is AlignmentType.GLOBAL:
+        return int(H[n, m]), (n, m)
+    if at is AlignmentType.LOCAL:
+        flat = int(np.argmax(H))
+        i, j = divmod(flat, m + 1)
+        return int(H[i, j]), (i, j)
+    # Semi-global: optimum anywhere in the last row or last column.
+    jbest = int(np.argmax(H[n, :]))
+    ibest = int(np.argmax(H[:, m]))
+    if H[n, jbest] >= H[ibest, m]:
+        return int(H[n, jbest]), (n, jbest)
+    return int(H[ibest, m]), (ibest, m)
+
+
+def score_reference(query, subject, scheme: AlignmentScheme) -> int:
+    """Optimal alignment score via the full-matrix reference DP."""
+    return dp_matrices(query, subject, scheme).best_score
+
+
+# Traceback states for affine gap models.
+_ST_H, _ST_E, _ST_F = 0, 1, 2
+
+
+def align_reference(query, subject, scheme: AlignmentScheme) -> AlignmentResult:
+    """Optimal alignment (score *and* gapped strings) via full-matrix DP.
+
+    The traceback re-derives each decision from the stored matrices.  For
+    affine gaps it tracks which matrix (H/E/F) the path is in so that gap
+    runs are opened and extended consistently — naive cell-local argmax
+    traceback is wrong for affine models.
+    """
+    q = np.asarray(query, dtype=np.uint8)
+    s = np.asarray(subject, dtype=np.uint8)
+    mats = dp_matrices(q, s, scheme)
+    at = scheme.alignment_type
+    sub = scheme.scoring.subst.table
+    gaps = scheme.scoring.gaps
+
+    i, j = mats.best_pos
+    end_i, end_j = i, j
+    qa: list[str] = []
+    sa: list[str] = []
+    H = mats.H
+
+    def emit_diag(ii, jj):
+        qa.append(decode(q[ii - 1 : ii]))
+        sa.append(decode(s[jj - 1 : jj]))
+
+    def emit_up(ii):
+        qa.append(decode(q[ii - 1 : ii]))
+        sa.append("-")
+
+    def emit_left(jj):
+        qa.append("-")
+        sa.append(decode(s[jj - 1 : jj]))
+
+    if gaps.is_affine:
+        go, ge = gaps.open, gaps.extend
+        E, F = mats.E, mats.F
+        state = _ST_H
+        while True:
+            if state == _ST_H:
+                if at is AlignmentType.LOCAL and H[i, j] == 0:
+                    break
+                if i == 0 and j == 0:
+                    break
+                if at is not AlignmentType.GLOBAL and (i == 0 or j == 0):
+                    break
+                if i == 0:  # global border: remaining path is a gap run
+                    emit_left(j)
+                    j -= 1
+                    continue
+                if j == 0:
+                    emit_up(i)
+                    i -= 1
+                    continue
+                if H[i, j] == H[i - 1, j - 1] + sub[q[i - 1], s[j - 1]]:
+                    emit_diag(i, j)
+                    i -= 1
+                    j -= 1
+                elif H[i, j] == E[i, j]:
+                    state = _ST_E
+                elif H[i, j] == F[i, j]:
+                    state = _ST_F
+                else:  # pragma: no cover - would indicate a filled-matrix bug
+                    raise AssertionError("inconsistent DP matrices in traceback")
+            elif state == _ST_E:
+                emit_up(i)
+                if i - 1 >= 0 and E[i, j] == E[i - 1, j] + ge and i - 1 >= 1:
+                    i -= 1  # extend: stay in E
+                else:
+                    assert E[i, j] == H[i - 1, j] + go + ge
+                    i -= 1
+                    state = _ST_H
+            else:  # _ST_F
+                emit_left(j)
+                if j - 1 >= 0 and F[i, j] == F[i, j - 1] + ge and j - 1 >= 1:
+                    j -= 1
+                else:
+                    assert F[i, j] == H[i, j - 1] + go + ge
+                    j -= 1
+                    state = _ST_H
+    else:
+        g = gaps.gap
+        while True:
+            if at is AlignmentType.LOCAL and H[i, j] == 0:
+                break
+            if i == 0 and j == 0:
+                break
+            if at is not AlignmentType.GLOBAL and (i == 0 or j == 0):
+                break
+            if i == 0:
+                emit_left(j)
+                j -= 1
+            elif j == 0:
+                emit_up(i)
+                i -= 1
+            elif H[i, j] == H[i - 1, j - 1] + sub[q[i - 1], s[j - 1]]:
+                emit_diag(i, j)
+                i -= 1
+                j -= 1
+            elif H[i, j] == H[i - 1, j] + g:
+                emit_up(i)
+                i -= 1
+            else:
+                assert H[i, j] == H[i, j - 1] + g
+                emit_left(j)
+                j -= 1
+
+    qa.reverse()
+    sa.reverse()
+    return AlignmentResult(
+        score=mats.best_score,
+        query_aligned="".join(qa),
+        subject_aligned="".join(sa),
+        query_start=i,
+        query_end=end_i,
+        subject_start=j,
+        subject_end=end_j,
+    )

@@ -1,0 +1,236 @@
+"""Core value types of the alignment library.
+
+Conventions
+-----------
+* Scores are *signed contributions*: a linear gap model with ``gap=-1``
+  contributes −1 per gap character, matching the paper's API where the user
+  writes ``linear_gap_scoring(simple_subst_scoring(2, -1), -1)``.
+* An affine gap of length ``k`` contributes ``open + k*extend`` (the paper's
+  ``−Go − k·Ge`` with ``open = −Go`` and ``extend = −Ge``).
+* ``NEG_INF`` is a large negative int32-safe sentinel used instead of a true
+  −∞ so integer arithmetic never overflows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Sentinel for −∞ in int32 DP matrices; chosen so that adding any realistic
+#: penalty cannot underflow int32.
+NEG_INF: int = -(2**30)
+
+#: Predecessor codes stored per cell for the innermost traceback level.
+PRED_NO_GAP: int = 0  # diagonal move: align q_i with s_j
+PRED_SKIP_S: int = 1  # vertical move: q_i aligned to a gap (subject gap)
+PRED_SKIP_Q: int = 2  # horizontal move: s_j aligned to a gap (query gap)
+PRED_STOP: int = 3  # local alignment start cell
+
+
+class AlignmentType(enum.Enum):
+    """Which DP initialisation/termination variant to use (paper §III-A)."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    SEMIGLOBAL = "semiglobal"
+
+
+@dataclass(frozen=True)
+class LinearGap:
+    """Linear gap model: each gap character contributes ``gap`` (≤ 0)."""
+
+    gap: int = -1
+
+    def __post_init__(self):
+        if self.gap > 0:
+            raise ValueError("linear gap score must be <= 0")
+
+    @property
+    def is_affine(self) -> bool:
+        return False
+
+    def run_score(self, length: int) -> int:
+        """Score contribution of a gap run of ``length`` characters."""
+        return self.gap * length
+
+
+@dataclass(frozen=True)
+class AffineGap:
+    """Affine gap model: a run of ``k`` gaps contributes ``open + k*extend``."""
+
+    open: int = -2
+    extend: int = -1
+
+    def __post_init__(self):
+        if self.open > 0 or self.extend > 0:
+            raise ValueError("affine gap scores must be <= 0")
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    def run_score(self, length: int) -> int:
+        return self.open + self.extend * length if length > 0 else 0
+
+
+GapModel = LinearGap | AffineGap
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """Substitution function σ over the DNA alphabet as a 4×4 table.
+
+    Construct via :func:`repro.core.scoring.simple_subst_scoring` or
+    :func:`repro.core.scoring.matrix_subst_scoring`.
+    """
+
+    table_flat: tuple  # 16 ints, row-major; hashable for kernel caching
+
+    @property
+    def table(self) -> np.ndarray:
+        return np.asarray(self.table_flat, dtype=np.int32).reshape(4, 4)
+
+    def score(self, a: int, b: int) -> int:
+        return self.table_flat[int(a) * 4 + int(b)]
+
+    @property
+    def is_simple(self) -> bool:
+        """True if describable by one match and one mismatch score."""
+        t = self.table
+        diag = np.diag(t)
+        off = t[~np.eye(4, dtype=bool)]
+        return bool(np.all(diag == diag[0]) and np.all(off == off[0]))
+
+    @property
+    def max_score(self) -> int:
+        return int(max(self.table_flat))
+
+    @property
+    def min_score(self) -> int:
+        return int(min(self.table_flat))
+
+
+@dataclass(frozen=True)
+class Scoring:
+    """A substitution function combined with a gap model."""
+
+    subst: Substitution
+    gaps: GapModel
+
+    @property
+    def is_affine(self) -> bool:
+        return self.gaps.is_affine
+
+    def cache_key(self) -> tuple:
+        """Hashable identity used to cache specialized kernels."""
+        g = self.gaps
+        gap_part = ("affine", g.open, g.extend) if g.is_affine else ("linear", g.gap)
+        return (self.subst.table_flat, gap_part)
+
+
+@dataclass(frozen=True)
+class AlignmentScheme:
+    """Alignment type + scoring: everything a kernel is specialized on."""
+
+    alignment_type: AlignmentType
+    scoring: Scoring
+
+    def cache_key(self) -> tuple:
+        return (self.alignment_type.value,) + self.scoring.cache_key()
+
+
+@dataclass
+class AlignmentResult:
+    """A computed alignment.
+
+    ``query_aligned``/``subject_aligned`` are gapped strings of equal length
+    covering ``query[query_start:query_end]`` and
+    ``subject[subject_start:subject_end]`` (0-based half-open).  For global
+    alignments these spans are the whole sequences; for local/semi-global
+    they are the aligned segment.
+    """
+
+    score: int
+    query_aligned: str
+    subject_aligned: str
+    query_start: int = 0
+    query_end: int = 0
+    subject_start: int = 0
+    subject_end: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.query_aligned) != len(self.subject_aligned):
+            raise ValueError("aligned strings must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.query_aligned)
+
+    def identity(self) -> float:
+        """Fraction of alignment columns that are exact matches."""
+        if not self.query_aligned:
+            return 0.0
+        same = sum(
+            1
+            for a, b in zip(self.query_aligned, self.subject_aligned)
+            if a == b and a != "-"
+        )
+        return same / len(self.query_aligned)
+
+    def cigar(self) -> str:
+        """CIGAR string (M/I/D run-length encoding, query-relative).
+
+        ``I`` is an insertion in the query (gap in subject), ``D`` a deletion
+        from the query (gap in query).
+        """
+        out: list[str] = []
+        run_op, run_len = "", 0
+        for a, b in zip(self.query_aligned, self.subject_aligned):
+            if a == "-":
+                op = "D"
+            elif b == "-":
+                op = "I"
+            else:
+                op = "M"
+            if op == run_op:
+                run_len += 1
+            else:
+                if run_op:
+                    out.append(f"{run_len}{run_op}")
+                run_op, run_len = op, 1
+        if run_op:
+            out.append(f"{run_len}{run_op}")
+        return "".join(out)
+
+    def pretty(self, width: int = 60) -> str:
+        """Human-readable block rendering with a match line."""
+        lines = []
+        q, s = self.query_aligned, self.subject_aligned
+        mid = "".join(
+            "|" if a == b and a != "-" else (" " if a == "-" or b == "-" else ".")
+            for a, b in zip(q, s)
+        )
+        for off in range(0, len(q), width):
+            lines.append(f"Q {q[off:off + width]}")
+            lines.append(f"  {mid[off:off + width]}")
+            lines.append(f"S {s[off:off + width]}")
+            lines.append("")
+        header = f"score={self.score} identity={self.identity():.3f} cigar={self.cigar()}"
+        return header + "\n" + "\n".join(lines)
+
+
+@dataclass
+class DPMatrices:
+    """Full DP matrices from the reference implementation (test oracle).
+
+    Shapes are ``(n+1, m+1)``; row/column 0 are the initialisation border.
+    ``E``/``F`` are ``None`` for linear gap models.
+    """
+
+    H: np.ndarray
+    E: np.ndarray | None
+    F: np.ndarray | None
+    best_score: int
+    best_pos: tuple[int, int]

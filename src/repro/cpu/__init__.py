@@ -1,0 +1,24 @@
+"""CPU mapping: tiled wavefront execution and SIMD lane batching."""
+
+from repro.cpu.tiles import TileBorders, TileResult, initial_borders, relax_tile
+from repro.cpu.wavefront import WavefrontAligner
+from repro.cpu.simd import (
+    AVX2,
+    AVX512,
+    SCALAR_PRESET,
+    SimdBatchAligner,
+    SimdPreset,
+)
+
+__all__ = [
+    "TileBorders",
+    "TileResult",
+    "initial_borders",
+    "relax_tile",
+    "WavefrontAligner",
+    "AVX2",
+    "AVX512",
+    "SCALAR_PRESET",
+    "SimdBatchAligner",
+    "SimdPreset",
+]

@@ -1,0 +1,203 @@
+"""Tile-level DP relaxation with border stripes (paper §IV-A, Fig. 2).
+
+The tiled CPU path never materialises the DP matrix: a tile is relaxed from
+its *top border row* and *left border column* and emits its bottom row and
+right column for the tiles below/right of it.  For affine gap models the
+borders additionally carry the E (vertical) and F (horizontal) gap states
+so gap runs continue across tile boundaries.
+
+All arrays carry an optional leading lane axis — the same code relaxes one
+tile or a block of ``l`` independent same-shape tiles (the paper's
+vectorization over rows from independent submatrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import NEG_INF, AlignmentScheme, AlignmentType
+
+__all__ = ["TileBorders", "TileResult", "relax_tile", "initial_borders"]
+
+
+@dataclass
+class TileBorders:
+    """Input borders of one tile (or a lane block of tiles).
+
+    ``top_h``/``top_e``: H and E along the row above the tile, length
+    cols+1 including the corner cell (index 0 = cell above-left corner).
+    ``left_h``/``left_f``: H and F along the column left of the tile,
+    length rows (excluding the corner, which lives in ``top_h[..., 0]``).
+    ``row0``/``col0``: absolute cell coordinates of the tile's first
+    row/column (1-based DP indexing), needed only for border formulas.
+    """
+
+    top_h: np.ndarray
+    left_h: np.ndarray
+    top_e: np.ndarray | None = None
+    left_f: np.ndarray | None = None
+
+
+@dataclass
+class TileResult:
+    """Output borders plus optimum tracking of one relaxed tile/block."""
+
+    bottom_h: np.ndarray  # length cols+1 (corner first)
+    right_h: np.ndarray  # length rows
+    bottom_e: np.ndarray | None
+    right_f: np.ndarray | None
+    best: np.ndarray  # per-lane max over the tile's cells
+    last_col_best: np.ndarray  # per-lane max over the tile's right column
+
+
+def initial_borders(
+    scheme: AlignmentScheme,
+    rows: int,
+    cols: int,
+    row0: int,
+    col0: int,
+    lanes: int | None = None,
+) -> TileBorders:
+    """Borders for tiles on the DP matrix edge (row0==1 or col0==1)."""
+    gaps = scheme.scoring.gaps
+    at = scheme.alignment_type
+    head = () if lanes is None else (lanes,)
+    jj = col0 - 1 + np.arange(cols + 1, dtype=np.int64)
+    ii = row0 + np.arange(rows, dtype=np.int64)
+
+    if at is AlignmentType.GLOBAL:
+        if gaps.is_affine:
+            top_h = gaps.open + gaps.extend * jj
+            left_h = gaps.open + gaps.extend * ii
+        else:
+            top_h = gaps.gap * jj
+            left_h = gaps.gap * ii
+        if jj[0] == 0:
+            top_h = top_h.copy()
+            top_h[0] = 0
+    else:
+        top_h = np.zeros(cols + 1, dtype=np.int64)
+        left_h = np.zeros(rows, dtype=np.int64)
+
+    top_e = left_f = None
+    if gaps.is_affine:
+        top_e = np.full(cols + 1, NEG_INF, dtype=np.int64)
+        left_f = np.full(rows, NEG_INF, dtype=np.int64)
+
+    def bc(a):
+        if a is None:
+            return None
+        return np.broadcast_to(a, head + a.shape).copy() if lanes else a.astype(np.int64)
+
+    return TileBorders(top_h=bc(top_h), left_h=bc(left_h), top_e=bc(top_e), left_f=bc(left_f))
+
+
+def relax_tile(
+    qt: np.ndarray,
+    st: np.ndarray,
+    scheme: AlignmentScheme,
+    borders: TileBorders,
+) -> TileResult:
+    """Relax one tile (or lane block) given its borders.
+
+    ``qt``/``st`` are the tile's query/subject slices, shapes
+    ``([lanes,] rows)`` and ``([lanes,] cols)``.  Row sweep with the
+    prefix-scan closure; the left border seeds both the candidate row and
+    the F scan (a horizontal gap entering from the left must be extendable
+    without a second open).
+    """
+    gaps = scheme.scoring.gaps
+    clamp = scheme.alignment_type is AlignmentType.LOCAL
+    table = scheme.scoring.subst.table.astype(np.int64)
+    rows = qt.shape[-1]
+    cols = st.shape[-1]
+    head = qt.shape[:-1]
+    idx = np.arange(cols + 1, dtype=np.int64)
+
+    H = borders.top_h.astype(np.int64, copy=True)  # length cols+1, corner first
+    bottom_corner = borders.top_h[..., 0]
+    right_h = np.empty(head + (rows,), dtype=np.int64)
+    best = np.full(head, NEG_INF, dtype=np.int64)
+    lastcol = np.full(head, NEG_INF, dtype=np.int64)
+
+    if gaps.is_affine:
+        go, ge = gaps.open, gaps.extend
+        pe = -ge
+        ramp = idx * pe
+        # E is tracked for the tile's own columns only (length cols): its
+        # recurrence is purely vertical, so the column left of the tile
+        # never feeds it.  The emitted bottom_e carries a sentinel corner.
+        E = borders.top_e[..., 1:].astype(np.int64, copy=True)
+        right_f = np.empty(head + (rows,), dtype=np.int64)
+        for i in range(1, rows + 1):
+            qc = qt[..., i - 1 : i]  # broadcastable column
+            sub = table[qc, st]
+            np.maximum(E + ge, H[..., 1:] + go + ge, out=E)
+            cand = np.empty_like(H)
+            lh = borders.left_h[..., i - 1]
+            lf = borders.left_f[..., i - 1]
+            np.maximum(H[..., :cols] + sub, E, out=cand[..., 1:])
+            cand[..., 0] = lh
+            if clamp:
+                np.maximum(cand, 0, out=cand)
+            # Seed the F scan so a horizontal gap entering from the left
+            # border extends without paying a second open.
+            scan_src = cand + ramp
+            scan_src[..., 0] = np.maximum(lh, lf - go)  # ramp[0] == 0
+            scan = np.maximum.accumulate(scan_src, axis=-1)
+            F = np.empty_like(cand)
+            F[..., 0] = lf
+            F[..., 1:] = scan[..., :cols] + go - ramp[1:]
+            H = np.maximum(cand, F)
+            H[..., 0] = lh
+            right_h[..., i - 1] = H[..., cols]
+            right_f[..., i - 1] = F[..., cols]
+            row_max = np.max(H[..., 1:], axis=-1)
+            np.maximum(best, row_max, out=best)
+            np.maximum(lastcol, H[..., cols], out=lastcol)
+        bottom_e = np.concatenate(
+            [np.full(head + (1,), NEG_INF, dtype=np.int64), E], axis=-1
+        )
+        return TileResult(
+            bottom_h=_with_corner(H, bottom_corner, borders.left_h, rows),
+            right_h=right_h,
+            bottom_e=bottom_e,
+            right_f=right_f,
+            best=best,
+            last_col_best=lastcol,
+        )
+
+    g = gaps.gap
+    p = -g
+    ramp = idx * p
+    for i in range(1, rows + 1):
+        qc = qt[..., i - 1 : i]
+        sub = table[qc, st]
+        cand = np.empty_like(H)
+        lh = borders.left_h[..., i - 1]
+        np.maximum(H[..., :cols] + sub, H[..., 1:] + g, out=cand[..., 1:])
+        cand[..., 0] = lh
+        if clamp:
+            np.maximum(cand, 0, out=cand)
+        H = np.maximum.accumulate(cand + ramp, axis=-1) - ramp
+        right_h[..., i - 1] = H[..., cols]
+        row_max = np.max(H[..., 1:], axis=-1)
+        np.maximum(best, row_max, out=best)
+        np.maximum(lastcol, H[..., cols], out=lastcol)
+    return TileResult(
+        bottom_h=_with_corner(H, bottom_corner, borders.left_h, rows),
+        right_h=right_h,
+        bottom_e=None,
+        right_f=None,
+        best=best,
+        last_col_best=lastcol,
+    )
+
+
+def _with_corner(H, _top_corner, left_h, rows):
+    """Bottom border row with the correct corner cell H(row_last, col0−1)."""
+    out = H.copy()
+    out[..., 0] = left_h[..., rows - 1]
+    return out

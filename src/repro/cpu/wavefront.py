@@ -1,0 +1,275 @@
+"""Multithreaded tiled wavefront alignment (paper §IV-A).
+
+One long alignment is partitioned into tiles; the dynamic scheduler hands
+out ready tiles (in lane blocks of identical shape where possible); border
+stripes flow between neighbours and are freed as soon as both consumers
+have read them, so memory stays linear in the sequence lengths.
+
+Real ``threading`` threads drive the scheduler — NumPy releases the GIL
+inside ufuncs so tile relaxations overlap partially; the *scalability
+curve* of Figure 6 is reproduced by :mod:`repro.sched.simulate`, which runs
+the same scheduler under a calibrated cost model (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aligner import register_backend
+from repro.core.scoring import default_scheme
+from repro.core.types import NEG_INF, AlignmentScheme, AlignmentType
+from repro.cpu.tiles import TileBorders, initial_borders, relax_tile
+from repro.sched.dynamic import DynamicWavefrontScheduler
+from repro.sched.static import StaticWavefrontSchedule
+from repro.sched.tilegraph import TileGraph, TileGrid
+from repro.util.checks import ValidationError, check_positive, check_sequence
+from repro.util.encoding import encode
+
+__all__ = ["WavefrontAligner"]
+
+
+@dataclass
+class _Run:
+    """Mutable state of one wavefront execution."""
+
+    q: np.ndarray
+    s: np.ndarray
+    grid: TileGrid
+    row_borders: dict  # (ti, tj) -> (bottom_h, bottom_e), produced by tile
+    col_borders: dict  # (ti, tj) -> (right_h, right_f)
+    best: int
+    lastrow_best: int
+    corner: int
+
+
+@register_backend("tiled")
+class WavefrontAligner:
+    """Score-only aligner running the tiled dynamic wavefront.
+
+    Parameters mirror the paper's tuning space: ``tile`` is the submatrix
+    shape, ``lanes`` the vector block width (16 ≙ AVX2 with 16-bit scores,
+    32 ≙ AVX512), ``threads`` the worker count, ``scheduler`` selects the
+    dynamic queue or the static diagonal-barrier baseline.
+    """
+
+    def __init__(
+        self,
+        scheme: AlignmentScheme | None = None,
+        tile: tuple[int, int] = (256, 256),
+        lanes: int = 16,
+        threads: int = 1,
+        scheduler: str = "dynamic",
+    ):
+        self.scheme = scheme if scheme is not None else default_scheme()
+        check_positive(tile[0], "tile height")
+        check_positive(tile[1], "tile width")
+        check_positive(lanes, "lanes")
+        check_positive(threads, "threads")
+        if scheduler not in ("dynamic", "static"):
+            raise ValidationError("scheduler must be 'dynamic' or 'static'")
+        self.tile = tile
+        self.lanes = lanes
+        self.threads = threads
+        self.scheduler = scheduler
+
+    # -- border plumbing ---------------------------------------------------
+    def _borders_for(self, run: _Run, tile) -> TileBorders:
+        affine = self.scheme.scoring.is_affine
+        th, tw = self.tile
+        row0 = tile.ti * th + 1
+        col0 = tile.tj * tw + 1
+        if tile.ti == 0 and tile.tj == 0:
+            return initial_borders(self.scheme, tile.rows, tile.cols, row0, col0)
+        init = initial_borders(self.scheme, tile.rows, tile.cols, row0, col0)
+        if tile.ti > 0:
+            top_h, top_e = run.row_borders[(tile.ti - 1, tile.tj)]
+        else:
+            top_h, top_e = init.top_h, init.top_e
+        if tile.tj > 0:
+            left_h, left_f = run.col_borders[(tile.ti, tile.tj - 1)]
+        else:
+            left_h, left_f = init.left_h, init.left_f
+        return TileBorders(
+            top_h=top_h, left_h=left_h, top_e=top_e if affine else None, left_f=left_f if affine else None
+        )
+
+    def _relax_one(self, run: _Run, tile, lock: threading.Lock | None):
+        th, tw = self.tile
+        qt = run.q[tile.ti * th : tile.ti * th + tile.rows]
+        st = run.s[tile.tj * tw : tile.tj * tw + tile.cols]
+        borders = self._borders_for(run, tile)
+        res = relax_tile(qt, st, self.scheme, borders)
+        self._commit(run, tile, res, lock)
+
+    def _commit(self, run: _Run, tile, res, lock):
+        grid = run.grid
+        ctx = lock if lock is not None else _NULL_LOCK
+        with ctx:
+            if tile.ti + 1 < grid.nti:
+                run.row_borders[(tile.ti, tile.tj)] = (res.bottom_h, res.bottom_e)
+            if tile.tj + 1 < grid.ntj:
+                run.col_borders[(tile.ti, tile.tj)] = (res.right_h, res.right_f)
+            # Free consumed borders (both successors exist => consumed once
+            # each; edge tiles consume immediately).
+            run.row_borders.pop((tile.ti - 1, tile.tj), None)
+            run.col_borders.pop((tile.ti, tile.tj - 1), None)
+            run.best = max(run.best, int(res.best))
+            if tile.ti == grid.nti - 1:
+                bh = np.asarray(res.bottom_h)
+                run.lastrow_best = max(run.lastrow_best, int(bh[..., 1:].max()))
+            if tile.tj == grid.ntj - 1:
+                run.lastrow_best = max(run.lastrow_best, int(res.last_col_best))
+            if tile.ti == grid.nti - 1 and tile.tj == grid.ntj - 1:
+                run.corner = int(np.asarray(res.bottom_h)[..., -1])
+
+    # -- execution ----------------------------------------------------------
+    def score(self, query, subject) -> int:
+        """Optimal alignment score via the tiled wavefront."""
+        q = check_sequence(encode(query), "query")
+        s = check_sequence(encode(subject), "subject")
+        grid = TileGrid.build(0, q.size, s.size, *self.tile)
+        graph = TileGraph([grid])
+        init_best = 0 if self.scheme.alignment_type is AlignmentType.SEMIGLOBAL else NEG_INF
+        run = _Run(
+            q=q,
+            s=s,
+            grid=grid,
+            row_borders={},
+            col_borders={},
+            best=NEG_INF,
+            lastrow_best=init_best,
+            corner=NEG_INF,
+        )
+        if self.scheduler == "static":
+            StaticWavefrontSchedule(graph, self.threads).run_serial(
+                lambda t: self._relax_one(run, t, None)
+            )
+        elif self.threads == 1:
+            sched = DynamicWavefrontScheduler(graph, lanes=1)
+            while True:
+                block = sched.try_pop()
+                if not block:
+                    break
+                for t in block:
+                    self._relax_one(run, t, None)
+                sched.complete(block)
+        else:
+            self._run_threaded(run, graph)
+
+        at = self.scheme.alignment_type
+        if at is AlignmentType.GLOBAL:
+            return run.corner
+        if at is AlignmentType.LOCAL:
+            return max(run.best, 0)
+        return run.lastrow_best
+
+    def _run_threaded(self, run: _Run, graph: TileGraph):
+        sched = DynamicWavefrontScheduler(graph, lanes=1)
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                while True:
+                    block = sched.pop(timeout=30.0)
+                    if not block:
+                        return
+                    for t in block:
+                        self._relax_one(run, t, lock)
+                    sched.complete(block)
+            except BaseException as exc:  # surface worker failures
+                errors.append(exc)
+
+        workers = [threading.Thread(target=worker) for _ in range(self.threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            raise errors[0]
+
+    def score_many(self, pairs) -> list[int]:
+        """Scores of several pairs sharing one scheduler run (Fig. 3).
+
+        All alignments' tiles enter one dependency graph; ready tiles from
+        different alignments fill vector lanes together.
+        """
+        runs = []
+        grids = []
+        id_base = 0
+        for k, (q, s) in enumerate(pairs):
+            q = check_sequence(encode(q), "query")
+            s = check_sequence(encode(s), "subject")
+            grid = TileGrid.build(k, q.size, s.size, *self.tile, id_base=id_base)
+            id_base += len(grid)
+            init_best = 0 if self.scheme.alignment_type is AlignmentType.SEMIGLOBAL else NEG_INF
+            runs.append(
+                _Run(q, s, grid, {}, {}, NEG_INF, init_best, NEG_INF)
+            )
+            grids.append(grid)
+        graph = TileGraph(grids)
+        sched = DynamicWavefrontScheduler(graph, lanes=self.lanes)
+        while True:
+            block = sched.try_pop()
+            if not block:
+                break
+            if len(block) > 1:
+                self._relax_block(runs, block)
+            else:
+                t = block[0]
+                self._relax_one(runs[t.alignment_id], t, None)
+            sched.complete(block)
+        out = []
+        at = self.scheme.alignment_type
+        for run in runs:
+            if at is AlignmentType.GLOBAL:
+                out.append(run.corner)
+            elif at is AlignmentType.LOCAL:
+                out.append(max(run.best, 0))
+            else:
+                out.append(run.lastrow_best)
+        return out
+
+    def _relax_block(self, runs, block):
+        """Relax ``lanes`` same-shape tiles from independent alignments."""
+        th, tw = self.tile
+        affine = self.scheme.scoring.is_affine
+        qs, ss, borders = [], [], []
+        for t in block:
+            run = runs[t.alignment_id]
+            qs.append(run.q[t.ti * th : t.ti * th + t.rows])
+            ss.append(run.s[t.tj * tw : t.tj * tw + t.cols])
+            borders.append(self._borders_for(run, t))
+        stacked = TileBorders(
+            top_h=np.stack([b.top_h for b in borders]),
+            left_h=np.stack([b.left_h for b in borders]),
+            top_e=np.stack([b.top_e for b in borders]) if affine else None,
+            left_f=np.stack([b.left_f for b in borders]) if affine else None,
+        )
+        res = relax_tile(np.stack(qs), np.stack(ss), self.scheme, stacked)
+        from repro.cpu.tiles import TileResult
+
+        for k, t in enumerate(block):
+            lane_res = TileResult(
+                bottom_h=res.bottom_h[k],
+                right_h=res.right_h[k],
+                bottom_e=res.bottom_e[k] if affine else None,
+                right_f=res.right_f[k] if affine else None,
+                best=res.best[k],
+                last_col_best=res.last_col_best[k],
+            )
+            self._commit(runs[t.alignment_id], t, lane_res, None)
+
+
+class _NullLock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LOCK = _NullLock()

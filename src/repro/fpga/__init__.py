@@ -1,0 +1,6 @@
+"""Simulated FPGA backend: systolic PE array, synthesis/power model."""
+
+from repro.fpga.systolic import SystolicAligner, SystolicStats
+from repro.fpga.power import ZCU104, FpgaModel
+
+__all__ = ["SystolicAligner", "SystolicStats", "ZCU104", "FpgaModel"]

@@ -1,0 +1,22 @@
+"""Simulated GPU backend: SPMD striped tiles, device model, memory spaces."""
+
+from repro.gpu.device import TITAN_V, DeviceModel, PerfCounters
+from repro.gpu.memory import (
+    GlobalMemory,
+    MatrixViewCoal,
+    SharedMemory,
+    coalesced_transactions,
+)
+from repro.gpu.striped import GpuAligner, relax_tile_striped
+
+__all__ = [
+    "TITAN_V",
+    "DeviceModel",
+    "PerfCounters",
+    "GlobalMemory",
+    "MatrixViewCoal",
+    "SharedMemory",
+    "coalesced_transactions",
+    "GpuAligner",
+    "relax_tile_striped",
+]

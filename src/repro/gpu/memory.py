@@ -1,0 +1,123 @@
+"""GPU memory spaces with transaction accounting (paper §IV-B).
+
+The striped kernel reads borders from *global* memory and keeps stripe rows
+and sequence segments in *shared* memory; exchanging coalesced for strided
+layouts is done by accessor objects, reproducing the paper's
+``view_matrix_coal_offset`` idea at runtime level.  Counters feed the
+device model, so the NVBio-like baseline's extra global traffic costs it
+time the same way it does on real hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import PerfCounters
+from repro.util.checks import ValidationError
+
+__all__ = ["GlobalMemory", "SharedMemory", "coalesced_transactions", "MatrixViewCoal"]
+
+
+def coalesced_transactions(count: int, warp: int = 32, coalesced: bool = True) -> int:
+    """Number of memory transactions for ``count`` lane accesses.
+
+    A warp's accesses to consecutive addresses merge into one transaction;
+    strided access pays one transaction per lane.
+    """
+    if coalesced:
+        return (count + warp - 1) // warp
+    return count
+
+
+class GlobalMemory:
+    """Device-global arrays with read/write transaction counting."""
+
+    def __init__(self, counters: PerfCounters, warp: int = 32):
+        self.counters = counters
+        self.warp = warp
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, shape, dtype=np.int64, fill=0) -> np.ndarray:
+        if name in self._arrays:
+            raise ValidationError(f"global array {name!r} already allocated")
+        arr = np.full(shape, fill, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def free(self, name: str):
+        self._arrays.pop(name, None)
+
+    def read(self, name: str, index=slice(None), coalesced: bool = True) -> np.ndarray:
+        arr = self._arrays[name]
+        out = arr[index]
+        self.counters.global_reads += coalesced_transactions(
+            int(np.size(out)), self.warp, coalesced
+        )
+        return out
+
+    def write(self, name: str, index, value, coalesced: bool = True):
+        arr = self._arrays[name]
+        arr[index] = value
+        self.counters.global_writes += coalesced_transactions(
+            int(np.size(arr[index])), self.warp, coalesced
+        )
+
+
+class SharedMemory:
+    """Block-local scratch with access counting (no capacity enforcement
+    beyond a configurable budget, checked at allocation time)."""
+
+    def __init__(self, counters: PerfCounters, budget_bytes: int = 96 * 1024):
+        self.counters = counters
+        self.budget = budget_bytes
+        self.used = 0
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, shape, dtype=np.int64, fill=0) -> np.ndarray:
+        arr = np.full(shape, fill, dtype=dtype)
+        self.used += arr.nbytes
+        if self.used > self.budget:
+            raise ValidationError(
+                f"shared memory budget exceeded ({self.used} > {self.budget} bytes)"
+            )
+        self._arrays[name] = arr
+        return arr
+
+    def read(self, name: str, index=slice(None)) -> np.ndarray:
+        out = self._arrays[name][index]
+        self.counters.shared_reads += int(np.size(out))
+        return out
+
+    def write(self, name: str, index, value):
+        self._arrays[name][index] = value
+        self.counters.shared_writes += int(np.size(self._arrays[name][index]))
+
+
+class MatrixViewCoal:
+    """Coalesced-offset matrix view (paper's ``view_matrix_coal_offset``).
+
+    Remaps (i, j) to a cyclic row layout so that consecutive j within one
+    anti-diagonal land on consecutive addresses.  Reads/writes count as
+    coalesced; the plain view counts as strided — the difference is visible
+    in the device model.
+    """
+
+    def __init__(self, mem: GlobalMemory, name: str, height: int, width: int, oi: int = 0, oj: int = 0):
+        self.mem = mem
+        self.name = name
+        self.height = height
+        self.width = width
+        self.oi = oi
+        self.oj = oj
+        mem.alloc(name, (height * width,))
+
+    def _pos(self, i, j):
+        return ((i + self.oi + j + self.oj + 2) % self.height) * self.width + (
+            j + self.oj
+        ) % self.width
+
+    def read(self, i, j) -> np.ndarray:
+        return self.mem.read(self.name, self._pos(np.asarray(i), np.asarray(j)), coalesced=True)
+
+    def write(self, i, j, value):
+        self.mem.write(self.name, self._pos(np.asarray(i), np.asarray(j)), value, coalesced=True)

@@ -1,0 +1,17 @@
+"""Performance harness: GCUPS timing, energy accounting, reports."""
+
+from repro.perf.gcups import Measurement, measure_gcups
+from repro.perf.energy import DEVICE_POWER, DevicePower, EnergyRow, energy_table
+from repro.perf.report import CodeSharing, code_sharing, format_table
+
+__all__ = [
+    "Measurement",
+    "measure_gcups",
+    "DEVICE_POWER",
+    "DevicePower",
+    "EnergyRow",
+    "energy_table",
+    "CodeSharing",
+    "code_sharing",
+    "format_table",
+]

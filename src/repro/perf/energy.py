@@ -1,0 +1,55 @@
+"""Energy-efficiency accounting (paper Table II).
+
+Table II reports GCUPS/watt per device using the device's specified (CPU,
+GPU) or synthesis-reported (FPGA) power draw against the fastest AnySeq
+variant of Figure 5.  The device power registry below carries the paper's
+exact wattages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DevicePower", "DEVICE_POWER", "EnergyRow", "energy_table"]
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    name: str
+    watts: float
+    source: str  # "specification" or "hardware synthesis report"
+
+
+#: Paper Table II wattages, verbatim.
+DEVICE_POWER = {
+    "Intel Xeon Gold 6130": DevicePower("Intel Xeon Gold 6130", 125.0, "specification"),
+    "Titan V": DevicePower("Titan V", 250.0, "specification"),
+    "ZCU104": DevicePower("ZCU104", 6.181, "hardware synthesis report"),
+}
+
+
+@dataclass
+class EnergyRow:
+    device: str
+    gap_model: str  # "linear" | "affine"
+    gcups: float
+    watts: float
+
+    @property
+    def gcups_per_watt(self) -> float:
+        return self.gcups / self.watts
+
+    def row(self) -> str:
+        return (
+            f"{self.device:<24} {self.gap_model:<7} {self.watts:>8.3f} W "
+            f"{self.gcups:>9.2f} GCUPS  {self.gcups_per_watt:>7.3f} GCUPS/W"
+        )
+
+
+def energy_table(entries) -> list[EnergyRow]:
+    """Build Table II rows from (device, gap_model, gcups) triples."""
+    rows = []
+    for device, gap_model, gcups in entries:
+        power = DEVICE_POWER[device]
+        rows.append(EnergyRow(device, gap_model, gcups, power.watts))
+    return rows

@@ -1,0 +1,46 @@
+"""GCUPS measurement (giga cell updates per second, the paper's metric)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Measurement", "measure_gcups"]
+
+
+@dataclass
+class Measurement:
+    """Median-of-repeats timing of one workload."""
+
+    label: str
+    cells: int
+    seconds: list = field(default_factory=list)
+
+    @property
+    def median_seconds(self) -> float:
+        return statistics.median(self.seconds)
+
+    @property
+    def gcups(self) -> float:
+        return self.cells / self.median_seconds / 1e9
+
+    def row(self) -> str:
+        return f"{self.label:<34} {self.gcups:>10.4f} GCUPS  ({self.median_seconds * 1e3:.1f} ms median of {len(self.seconds)})"
+
+
+def measure_gcups(label: str, cells: int, fn, repeats: int = 3, warmup: int = 1) -> Measurement:
+    """Time ``fn()`` (which must relax ``cells`` DP cells) and report GCUPS.
+
+    The paper reports medians; so does this.  A warm-up run absorbs kernel
+    staging/compilation, mirroring how AnySeq compiles variants ahead of
+    measurement.
+    """
+    for _ in range(warmup):
+        fn()
+    m = Measurement(label=label, cells=cells)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        m.seconds.append(time.perf_counter() - t0)
+    return m

@@ -1,0 +1,18 @@
+"""Wavefront scheduling: tile graphs, dynamic/static schedulers, simulation."""
+
+from repro.sched.tilegraph import Tile, TileGraph, TileGrid
+from repro.sched.dynamic import DynamicWavefrontScheduler
+from repro.sched.static import StaticWavefrontSchedule
+from repro.sched.simulate import CostModel, SimResult, simulate_dynamic, simulate_static
+
+__all__ = [
+    "Tile",
+    "TileGraph",
+    "TileGrid",
+    "DynamicWavefrontScheduler",
+    "StaticWavefrontSchedule",
+    "CostModel",
+    "SimResult",
+    "simulate_dynamic",
+    "simulate_static",
+]

@@ -1,0 +1,177 @@
+"""Discrete-event simulation of wavefront scheduling (Figure 6 substrate).
+
+Python's GIL makes real 32-thread scaling unobservable, so thread
+scalability is reproduced by simulating the *actual scheduler
+implementations* (:class:`DynamicWavefrontScheduler`,
+:class:`StaticWavefrontSchedule`) against a calibrated cost model:
+
+* every tile costs ``cells / rate`` seconds of thread time (vector rate for
+  full lane blocks, scalar rate for the fallback);
+* the dynamic queue charges a small pop overhead per dequeue;
+* the static schedule pays, per diagonal, a barrier latency plus a *serial*
+  setup phase — the preliminary AnySeq version precomputed auxiliary
+  substitution-score arrays between diagonals (paper §IV-A), which is the
+  dominant reason its efficiency collapses at high thread counts (an
+  Amdahl serial fraction, not just ramp-up imbalance).
+
+Defaults are calibrated so the simulated efficiencies land near the
+paper's: dynamic ≈ 75 % / 65 % at 16 / 32 threads, static ≈ 15 % / 8 %.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.sched.dynamic import DynamicWavefrontScheduler
+from repro.sched.static import StaticWavefrontSchedule
+from repro.sched.tilegraph import TileGraph
+from repro.util.checks import SchedulingError, check_positive
+
+__all__ = ["CostModel", "SimResult", "simulate_dynamic", "simulate_static"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated per-thread execution costs (seconds / cells)."""
+
+    scalar_rate: float = 0.6e9  # cells/s, one tile at a time
+    vector_rate: float = 3.9e9  # cells/s across a full AVX2 lane block
+    # (AVX512 runs use vector_rate=7.8e9, lanes=32 — see the Table II bench)
+    pop_overhead: float = 2.0e-6  # dynamic queue dequeue (lock + flags)
+    barrier_overhead: float = 20.0e-6  # static per-diagonal barrier latency
+    serial_fraction: float = 0.60  # static serial setup, relative to the
+    # per-diagonal compute time (aux score-array precomputation)
+    contention_threads: float = 60.0  # memory-bandwidth dilation scale: a
+    # thread's compute dilates by (1 + (P-1)/contention_threads); the
+    # barrier-paced static schedule rarely saturates bandwidth, so the
+    # dilation applies to the dynamic executor only
+
+    def tile_seconds(self, cells: int, vectorized: bool, threads: int = 1) -> float:
+        rate = self.vector_rate if vectorized else self.scalar_rate
+        dilation = 1.0 + (threads - 1) / self.contention_threads
+        return cells / rate * dilation
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    threads: int
+    makespan: float
+    total_cells: int
+    busy_seconds: float
+    pops: int = 0
+    block_pops: int = 0
+    barriers: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def gcups(self) -> float:
+        return self.total_cells / self.makespan / 1e9
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_seconds / (self.makespan * self.threads)
+
+
+def simulate_dynamic(
+    graph: TileGraph,
+    threads: int,
+    lanes: int = 16,
+    cost: CostModel | None = None,
+) -> SimResult:
+    """Event-driven simulation of the dynamic wavefront scheduler.
+
+    Threads pop blocks from the real scheduler; completion events release
+    successors; idle threads re-arm whenever new work appears.  The
+    scheduler object is exactly the one the real executor uses, so queue
+    policy bugs would show up here.
+    """
+    check_positive(threads, "threads")
+    cost = cost or CostModel()
+    sched = DynamicWavefrontScheduler(graph, lanes=lanes)
+
+    # Event heap holds (finish_time, seq, thread_id, block).
+    heap: list = []
+    seq = 0
+    busy = 0.0
+    idle_threads = list(range(threads))
+
+    def dispatch(now: float):
+        nonlocal seq, busy
+        while idle_threads:
+            block = sched.try_pop()
+            if not block:
+                break
+            tid = idle_threads.pop()
+            cells = sum(t.cells for t in block)
+            vectorized = len(block) == lanes and lanes > 1
+            dt = cost.pop_overhead + cost.tile_seconds(cells, vectorized, threads)
+            busy += dt
+            heapq.heappush(heap, (now + dt, seq, tid, block))
+            seq += 1
+
+    dispatch(0.0)
+    now = 0.0
+    while heap:
+        now, _, tid, block = heapq.heappop(heap)
+        sched.complete(block)
+        idle_threads.append(tid)
+        dispatch(now)
+    if not sched.done:
+        raise SchedulingError("dynamic simulation stalled with incomplete tiles")
+    return SimResult(
+        threads=threads,
+        makespan=now,
+        total_cells=graph.total_cells,
+        busy_seconds=busy,
+        pops=sched.pops,
+        block_pops=sched.block_pops,
+        meta={"lanes": lanes},
+    )
+
+
+def simulate_static(
+    graph: TileGraph,
+    threads: int,
+    cost: CostModel | None = None,
+) -> SimResult:
+    """Barrier-per-diagonal simulation of the static schedule.
+
+    Per diagonal: a serial setup phase (auxiliary score arrays — runs on
+    one thread while the others wait), then the slowest thread's share of
+    the diagonal's tiles, then the barrier.  Tiles use the *vector* rate —
+    the preliminary version vectorized within submatrices — so the gap to
+    the dynamic curve is attributable to scheduling, not kernel speed.
+    """
+    check_positive(threads, "threads")
+    cost = cost or CostModel()
+    schedule = StaticWavefrontSchedule(graph, threads)
+
+    makespan = 0.0
+    busy = 0.0
+    for d in range(len(schedule)):
+        tiles = schedule.diagonals[d]
+        diag_cells = sum(t.cells for t in tiles)
+        compute = cost.tile_seconds(diag_cells, vectorized=True)
+        serial = cost.serial_fraction * compute
+        per_thread = [
+            sum(cost.tile_seconds(t.cells, vectorized=True) for t in chunk)
+            for chunk in schedule.assignments(d)
+        ]
+        slowest = max(per_thread)
+        makespan += serial + slowest + cost.barrier_overhead
+        busy += serial + sum(per_thread)
+        for t in tiles:  # validates dependency order via the graph
+            graph.complete(t)
+    if not graph.done:
+        raise SchedulingError("static simulation left incomplete tiles")
+    return SimResult(
+        threads=threads,
+        makespan=makespan,
+        total_cells=graph.total_cells,
+        busy_seconds=busy,
+        barriers=len(schedule),
+        meta={"serial_fraction": cost.serial_fraction},
+    )

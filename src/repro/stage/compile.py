@@ -1,0 +1,117 @@
+"""Kernel compilation and caching.
+
+``build_kernel`` takes a traced builder (or module), runs the partial
+evaluator, emits Python source in the requested dialect, ``exec``-compiles
+it, and returns a :class:`CompiledKernel` carrying both the callable and the
+generated source (inspectable — the paper's claim that the abstractions
+leave no residue is directly checkable from ``kernel.source``).
+
+``KernelCache`` memoizes compiled kernels on a hashable specialization key
+(the AlignmentScheme cache key plus backend parameters), which mirrors how
+an AnyDSL library compiles one variant per parameter set.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.stage.builder import KernelBuilder
+from repro.stage.codegen import RUNTIME_HELPERS, emit_module, register_source
+from repro.stage.filters import collect_helpers
+from repro.stage.ir import Function, Module
+from repro.stage.peval import DEFAULT_UNROLL_LIMIT, specialize_module
+
+__all__ = ["CompiledKernel", "build_kernel", "KernelCache", "global_kernel_cache"]
+
+
+@dataclass
+class CompiledKernel:
+    """A specialized, executable kernel plus its provenance."""
+
+    name: str
+    fn: object
+    source: str
+    module: Module
+    dialect: str
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+
+def build_kernel(
+    builder_or_fn,
+    dialect: str = "vector",
+    extra_env: dict | None = None,
+    unroll_limit: int = DEFAULT_UNROLL_LIMIT,
+    optimize: bool = True,
+) -> CompiledKernel:
+    """Finalize, partially evaluate, emit, and compile one kernel.
+
+    ``builder_or_fn`` may be a :class:`KernelBuilder` (finalized here), a
+    built :class:`Function`, or a :class:`Module`.  ``optimize=False`` skips
+    the partial evaluator — used by the specialization ablation benchmark to
+    quantify abstraction overhead.
+    """
+    if isinstance(builder_or_fn, KernelBuilder):
+        helpers = collect_helpers(builder_or_fn)
+        mod = Module(entry=builder_or_fn.build(), helpers=helpers)
+    elif isinstance(builder_or_fn, Function):
+        mod = Module(entry=builder_or_fn)
+    elif isinstance(builder_or_fn, Module):
+        mod = builder_or_fn
+    else:
+        raise TypeError(f"cannot compile {type(builder_or_fn).__name__}")
+
+    if optimize:
+        mod = specialize_module(mod, unroll_limit=unroll_limit)
+    source = emit_module(mod, dialect=dialect)
+    filename = f"<staged:{mod.entry.name}:{dialect}>"
+    register_source(filename, source)
+    namespace = dict(RUNTIME_HELPERS)
+    if extra_env:
+        namespace.update(extra_env)
+    code = compile(source, filename, "exec")
+    exec(code, namespace)
+    return CompiledKernel(
+        name=mod.entry.name,
+        fn=namespace[mod.entry.name],
+        source=source,
+        module=mod,
+        dialect=dialect,
+    )
+
+
+class KernelCache:
+    """Thread-safe memo table: specialization key → compiled kernel."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._kernels: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key, thunk) -> CompiledKernel:
+        """Return the cached kernel for ``key`` or build it via ``thunk``."""
+        with self._lock:
+            kern = self._kernels.get(key)
+            if kern is not None:
+                self.hits += 1
+                return kern
+        kern = thunk()
+        with self._lock:
+            self._kernels.setdefault(key, kern)
+            self.misses += 1
+        return kern
+
+    def __len__(self):
+        return len(self._kernels)
+
+    def clear(self):
+        with self._lock:
+            self._kernels.clear()
+            self.hits = self.misses = 0
+
+
+#: Process-wide cache used by the aligner frontends.
+global_kernel_cache = KernelCache()

@@ -1,0 +1,90 @@
+"""Staged functions with partial-evaluation filters (paper §II-B a).
+
+Impala controls its partial evaluator with *filters*: Boolean expressions
+over the argument list deciding, per call site, whether the callee is
+specialized (inlined with its arguments) or compiled as a residual function.
+The decorator below reproduces that mechanism, including polyvariance::
+
+    @staged(filter=lambda x, n: is_static(n))
+    def pow_(b, x, n):
+        if is_static(n):
+            v = static_value(n)
+            if v == 0:
+                return Const(1)
+            return pow_(b, x, v - 1) * x      # unrolls during tracing
+        acc = b.mutable(1)
+        with b.loop(b.fresh("k"), 0, n) as _k:
+            acc.set(acc.value * x)
+        return acc.value
+
+``pow_(b, x, 5)`` produces a loop-less multiply chain; ``pow_(b, x, dyn(5))``
+emits a residual loop; ``pow_(b, Const(3), 5)`` folds to ``Const(243)``
+downstream.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.stage.builder import KernelBuilder
+from repro.stage.ir import CallFn, Function, Var, as_expr
+from repro.util.checks import StagingError
+
+
+class StagedFunction:
+    """A traceable function with an inline/residual filter."""
+
+    def __init__(self, fn, filter=None, name=None):
+        self.fn = fn
+        self.filter = filter
+        self.name = name or fn.__name__.rstrip("_")
+        functools.update_wrapper(self, fn)
+
+    def __call__(self, b: KernelBuilder, *args):
+        if self.filter is None or bool(self.filter(*args)):
+            return self.inline(b, *args)
+        return self.residual(b, *args)
+
+    def inline(self, b: KernelBuilder, *args):
+        """Specialize: trace the body with the given arguments in place."""
+        return self.fn(b, *args)
+
+    def residual(self, b: KernelBuilder, *args):
+        """Emit a call to a residual (dynamically-parameterised) version.
+
+        The residual body is traced once per (builder, arity) with fresh
+        dynamic parameters and attached to the builder as a helper function.
+        """
+        helpers = getattr(b, "_staged_helpers", None)
+        if helpers is None:
+            helpers = {}
+            b._staged_helpers = helpers
+        key = (self.name, len(args))
+        if key not in helpers:
+            params = [f"{self.name}_a{i}" for i in range(len(args))]
+            sub = KernelBuilder(f"_{self.name}_{len(args)}", params)
+            result = self.fn(sub, *(Var(p) for p in params))
+            if result is None:
+                raise StagingError(
+                    f"residual staged function {self.name} must return an expression"
+                )
+            sub.ret(result)
+            helpers[key] = sub.build()
+        fn_ir: Function = helpers[key]
+        return CallFn(fn_ir.name, tuple(as_expr(a) for a in args))
+
+
+def staged(fn=None, *, filter=None, name=None):
+    """Decorator form; usable bare (``@staged``) or with arguments."""
+    if fn is not None:
+        return StagedFunction(fn, filter=filter, name=name)
+
+    def wrap(f):
+        return StagedFunction(f, filter=filter, name=name)
+
+    return wrap
+
+
+def collect_helpers(b: KernelBuilder) -> list[Function]:
+    """Residual helper functions accumulated on a builder during tracing."""
+    return list(getattr(b, "_staged_helpers", {}).values())

@@ -1,0 +1,135 @@
+"""Generator functions (paper §II-B b–d).
+
+In Impala, *generators* are higher-order functions invokable with for-syntax
+that encapsulate iteration strategies.  The Python analog keeps the paper's
+callback protocol:
+
+    Loop1D = fn(builder, start, stop, body)       body: fn(i)
+    Loop2D = fn(builder, (y0, y1), (x0, x1), body)  body: fn(y, x)
+
+``unroll`` runs the loop *during tracing* (complete unrolling — only valid
+for static bounds), ``range_loop`` emits a residual loop, ``vectorize``
+emits a loop whose body is compiled in the NumPy dialect, and ``parallel``
+marks iterations as independent for thread fan-out by the executors.
+``combine`` and ``tile`` build 2-D nests out of 1-D generators, exactly as
+the paper composes loop nests without touching the computation they drive.
+"""
+
+from __future__ import annotations
+
+from repro.stage.builder import KernelBuilder
+from repro.stage.ir import Const, as_expr, is_static, static_value
+from repro.util.checks import StagingError
+
+__all__ = [
+    "range_loop",
+    "unroll",
+    "vectorize",
+    "parallel",
+    "combine",
+    "tile",
+]
+
+
+def range_loop(b: KernelBuilder, start, stop, body):
+    """Residual sequential loop (the paper's ``range``)."""
+    with b.loop(b.fresh("i"), start, stop) as i:
+        body(i)
+
+
+def unroll(b: KernelBuilder, start, stop, body):
+    """Complete trace-time unrolling (the paper's ``unroll``).
+
+    Requires statically-known bounds — the analog of the ``@(?a & ?b)``
+    filter on the paper's recursive ``unroll``.
+    """
+    if not (is_static(start) and is_static(stop)):
+        raise StagingError("unroll requires static loop bounds")
+    for k in range(static_value(start), static_value(stop)):
+        body(Const(k))
+
+
+def vectorize(width: int):
+    """Returns a Loop1D that emits a vector-dialect loop.
+
+    ``width`` is metadata (the SIMD lane count); the NumPy dialect executes
+    whole lanes per iteration so the emitted loop steps once per block.
+    """
+
+    def loop(b: KernelBuilder, start, stop, body):
+        with b.loop(b.fresh("v"), start, stop, kind="vector") as i:
+            body(i)
+
+    loop.simd_width = width
+    return loop
+
+
+def parallel(num_threads: int):
+    """Returns a Loop1D whose iterations are marked independent."""
+
+    def loop(b: KernelBuilder, start, stop, body):
+        with b.loop(b.fresh("p"), start, stop, kind="parallel") as i:
+            body(i)
+
+    loop.num_threads = num_threads
+    return loop
+
+
+def combine(outer, inner):
+    """Compose two Loop1D generators into a Loop2D (paper's ``combine``)."""
+
+    def loop2d(b: KernelBuilder, yrange, xrange, body):
+        y0, y1 = yrange
+        x0, x1 = xrange
+
+        def outer_body(y):
+            inner(b, x0, x1, lambda x: body(y, x))
+
+        outer(b, y0, y1, outer_body)
+
+    return loop2d
+
+
+def tile(tile_h: int, tile_w: int, outer, inner):
+    """Tiled 2-D nest: ``outer`` walks tiles, ``inner`` walks cells in a tile.
+
+    The generated nest clamps partial edge tiles, so any extent works.  This
+    is the paper's ``tile`` — an ordinary library function whose overhead
+    the partial evaluator removes completely.
+    """
+    if tile_h <= 0 or tile_w <= 0:
+        raise StagingError("tile sizes must be positive")
+
+    def loop2d(b: KernelBuilder, yrange, xrange, body):
+        y0, y1 = as_expr(yrange[0]), as_expr(yrange[1])
+        x0, x1 = as_expr(xrange[0]), as_expr(xrange[1])
+
+        def tiles_y(ty):
+            def tiles_x(tx):
+                yb0 = b.let(y0 + ty * tile_h, "yb")
+                yb1 = b.let(_clamp_min(yb0 + tile_h, y1), "ye")
+                xb0 = b.let(x0 + tx * tile_w, "xb")
+                xb1 = b.let(_clamp_min(xb0 + tile_w, x1), "xe")
+
+                def cell_y(y):
+                    inner(b, xb0, xb1, lambda x: body(y, x))
+
+                range_loop(b, yb0, yb1, cell_y)
+
+            ntx = b.let(_ceil_div(x1 - x0, tile_w), "ntx")
+            range_loop(b, 0, ntx, tiles_x)
+
+        nty = b.let(_ceil_div(y1 - y0, tile_h), "nty")
+        outer(b, 0, nty, tiles_y)
+
+    return loop2d
+
+
+def _ceil_div(a, bdiv: int):
+    return (a + (bdiv - 1)) // bdiv
+
+
+def _clamp_min(a, limit):
+    from repro.stage.ir import smin
+
+    return smin(a, limit)

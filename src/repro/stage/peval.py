@@ -1,0 +1,393 @@
+"""The partial evaluator.
+
+Given a traced :class:`~repro.stage.ir.Function`, this pass performs the
+optimizations that AnyDSL's evaluator applies after specialization so that
+the layered abstractions of the alignment library leave **zero residue** in
+the generated kernel:
+
+* constant folding of arithmetic, comparisons and selects,
+* algebraic identities (``x+0``, ``x*1``, ``x*0``, ``max(x, -inf)``, …),
+* branch pruning for statically-known conditions,
+* copy propagation of constant/alias bindings,
+* dead-binding elimination (everything in the IR is pure except ``Store``),
+* bounded unrolling of constant-trip-count loops.
+
+The pass pipeline runs to a fixpoint (bounded) because each simplification
+can expose more opportunities — e.g. pruning an ``If`` makes its condition
+binding dead, which then folds away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.stage.ir import (
+    BinOp,
+    CallFn,
+    Cmp,
+    Comment,
+    Const,
+    DynConst,
+    Expr,
+    For,
+    Function,
+    If,
+    Let,
+    Load,
+    Max,
+    Min,
+    Module,
+    Mutate,
+    Return,
+    Select,
+    Shift,
+    Slice,
+    Store,
+    Var,
+)
+
+#: Sentinel mirroring ``repro.core.types.NEG_INF``: values at or below this
+#: are treated as −∞ by the ``max`` identity rules.
+NEG_INF = -(2**30)
+
+#: Loops whose constant trip count is at most this are unrolled.
+DEFAULT_UNROLL_LIMIT = 8
+
+_BIN_EVAL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_CMP_EVAL = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def fold_expr(e: Expr, env: dict | None = None) -> Expr:
+    """Bottom-up simplification of one expression tree.
+
+    ``env`` maps variable names to replacement expressions (from copy
+    propagation).
+    """
+    env = env or {}
+
+    if isinstance(e, Var):
+        return env.get(e.name, e)
+    if isinstance(e, (Const, DynConst)):
+        return e
+
+    kids = tuple(fold_expr(c, env) for c in e.children())
+    e = e.rebuild(*kids)
+
+    if isinstance(e, BinOp):
+        a, b = e.a, e.b
+        if isinstance(a, Const) and isinstance(b, Const):
+            return Const(_BIN_EVAL[e.op](a.value, b.value))
+        if e.op == "+":
+            if _is_zero(a):
+                return b
+            if _is_zero(b):
+                return a
+        elif e.op == "-":
+            if _is_zero(b):
+                return a
+            if a == b:
+                return Const(0)
+        elif e.op == "*":
+            if _is_zero(a) or _is_zero(b):
+                return Const(0)
+            if _is_one(a):
+                return b
+            if _is_one(b):
+                return a
+        elif e.op == "//" and _is_one(b):
+            return a
+        return e
+
+    if isinstance(e, Cmp):
+        if isinstance(e.a, Const) and isinstance(e.b, Const):
+            return Const(_CMP_EVAL[e.op](e.a.value, e.b.value))
+        if e.a == e.b:
+            return Const(e.op in ("==", "<=", ">="))
+        return e
+
+    if isinstance(e, Select):
+        if isinstance(e.cond, Const):
+            return e.a if e.cond.value else e.b
+        if e.a == e.b:
+            return e.a
+        return e
+
+    if isinstance(e, Max):
+        a, b = e.a, e.b
+        if isinstance(a, Const) and isinstance(b, Const):
+            return Const(max(a.value, b.value))
+        # max(x, -inf) == x: the global-alignment ν disappears here.
+        if _is_neg_inf(a):
+            return b
+        if _is_neg_inf(b):
+            return a
+        if a == b:
+            return a
+        return e
+
+    if isinstance(e, Min):
+        a, b = e.a, e.b
+        if isinstance(a, Const) and isinstance(b, Const):
+            return Const(min(a.value, b.value))
+        if a == b:
+            return a
+        return e
+
+    return e
+
+
+def _is_zero(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value == 0
+
+
+def _is_one(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value == 1
+
+
+def _is_neg_inf(e: Expr) -> bool:
+    return isinstance(e, Const) and isinstance(e.value, int) and e.value <= NEG_INF
+
+
+# ---------------------------------------------------------------------------
+# Statement-level pass
+# ---------------------------------------------------------------------------
+
+
+def _collect_reads(stmts, reads: set, mutated: set):
+    """Record every Var name read and every name re-assigned."""
+
+    def walk_expr(e):
+        if isinstance(e, Var):
+            reads.add(e.name)
+        if isinstance(e, Expr):
+            for c in e.children():
+                walk_expr(c)
+
+    def walk_index(index):
+        for i in index:
+            if isinstance(i, Expr):
+                walk_expr(i)
+
+    for st in stmts:
+        if isinstance(st, Let):
+            walk_expr(st.expr)
+        elif isinstance(st, Mutate):
+            mutated.add(st.name)
+            walk_expr(st.expr)
+        elif isinstance(st, Store):
+            walk_index(st.index)
+            walk_expr(st.value)
+        elif isinstance(st, For):
+            walk_expr(st.start)
+            walk_expr(st.stop)
+            _collect_reads(st.body, reads, mutated)
+        elif isinstance(st, If):
+            walk_expr(st.cond)
+            _collect_reads(st.then, reads, mutated)
+            _collect_reads(st.orelse, reads, mutated)
+        elif isinstance(st, Return) and st.value is not None:
+            if isinstance(st.value, tuple):
+                for v in st.value:
+                    walk_expr(v)
+            else:
+                walk_expr(st.value)
+
+
+def _subst_in_index(index, env):
+    return tuple(
+        fold_expr(i, env)
+        if isinstance(i, Expr) and not isinstance(i, Slice)
+        else (Slice(fold_expr(i.start, env), fold_expr(i.stop, env)) if isinstance(i, Slice) else i)
+        for i in index
+    )
+
+
+def _simplify_block(stmts, env, reads, mutated, unroll_limit):
+    out = []
+    env = dict(env)
+    for st in stmts:
+        if isinstance(st, Comment):
+            out.append(st)
+        elif isinstance(st, Let):
+            expr = fold_expr(st.expr, env)
+            # Copy-propagate constants and un-mutated aliases.
+            if st.name not in mutated and (
+                isinstance(expr, Const)
+                or (isinstance(expr, Var) and expr.name not in mutated)
+            ):
+                env[st.name] = expr
+                continue
+            if st.name not in reads and st.name not in mutated:
+                continue  # dead binding (pure expression)
+            out.append(Let(st.name, expr))
+        elif isinstance(st, Mutate):
+            expr = fold_expr(st.expr, env)
+            if st.name not in reads:
+                continue  # value never observed
+            out.append(Mutate(st.name, expr))
+        elif isinstance(st, Store):
+            out.append(Store(st.array, _subst_in_index(st.index, env), fold_expr(st.value, env)))
+        elif isinstance(st, If):
+            cond = fold_expr(st.cond, env)
+            if isinstance(cond, Const):
+                branch = st.then if cond.value else st.orelse
+                out.extend(_simplify_block(branch, env, reads, mutated, unroll_limit))
+            else:
+                then = _simplify_block(st.then, env, reads, mutated, unroll_limit)
+                orelse = _simplify_block(st.orelse, env, reads, mutated, unroll_limit)
+                if then or orelse:
+                    out.append(If(cond, then, orelse))
+        elif isinstance(st, For):
+            start = fold_expr(st.start, env)
+            stop = fold_expr(st.stop, env)
+            body_env = dict(env)
+            body_env.pop(st.var, None)
+            if isinstance(start, Const) and isinstance(stop, Const):
+                trip = max(0, (stop.value - start.value + st.step - 1) // st.step)
+                if trip == 0:
+                    continue
+                if st.kind in ("range", "unrolled") and trip <= unroll_limit:
+                    for k in range(start.value, stop.value, st.step):
+                        it_env = dict(env)
+                        it_env[st.var] = Const(k)
+                        out.extend(
+                            _simplify_block(st.body, it_env, reads, mutated, unroll_limit)
+                        )
+                    continue
+            body = _simplify_block(st.body, body_env, reads, mutated, unroll_limit)
+            if body:
+                out.append(For(st.var, start, stop, body, st.kind, st.step))
+        elif isinstance(st, Return):
+            if isinstance(st.value, tuple):
+                out.append(Return(tuple(fold_expr(v, env) for v in st.value)))
+            elif st.value is not None:
+                out.append(Return(fold_expr(st.value, env)))
+            else:
+                out.append(st)
+        else:  # pragma: no cover - unknown statement type
+            out.append(st)
+    return out
+
+
+def specialize(fn: Function, unroll_limit: int = DEFAULT_UNROLL_LIMIT, max_rounds: int = 5) -> Function:
+    """Run the simplification pipeline on ``fn`` to a (bounded) fixpoint."""
+    body = fn.body
+    for _ in range(max_rounds):
+        reads: set = set()
+        mutated: set = set()
+        _collect_reads(body, reads, mutated)
+        new_body = _simplify_block(body, {}, reads, mutated, unroll_limit)
+        if _body_signature(new_body) == _body_signature(body):
+            body = new_body
+            break
+        body = new_body
+    return replace(fn, body=body)
+
+
+def specialize_module(mod: Module, unroll_limit: int = DEFAULT_UNROLL_LIMIT) -> Module:
+    return Module(
+        entry=specialize(mod.entry, unroll_limit),
+        helpers=[specialize(h, unroll_limit) for h in mod.helpers],
+    )
+
+
+def _body_signature(stmts) -> str:
+    return repr(stmts)
+
+
+# ---------------------------------------------------------------------------
+# Introspection helpers (used by tests and the specialization ablation)
+# ---------------------------------------------------------------------------
+
+
+def count_nodes(fn: Function) -> int:
+    """Total number of IR nodes — a proxy for residual code size."""
+    total = 0
+
+    def walk_expr(e):
+        nonlocal total
+        total += 1
+        if isinstance(e, Expr):
+            for c in e.children():
+                walk_expr(c)
+
+    def walk(stmts):
+        nonlocal total
+        for st in stmts:
+            total += 1
+            if isinstance(st, Let) or isinstance(st, Mutate):
+                walk_expr(st.expr)
+            elif isinstance(st, Store):
+                walk_expr(st.value)
+            elif isinstance(st, For):
+                walk(st.body)
+            elif isinstance(st, If):
+                walk_expr(st.cond)
+                walk(st.then)
+                walk(st.orelse)
+            elif isinstance(st, Return) and st.value is not None:
+                if isinstance(st.value, tuple):
+                    for v in st.value:
+                        walk_expr(v)
+                else:
+                    walk_expr(st.value)
+
+    walk(fn.body)
+    return total
+
+
+def contains_node(fn: Function, node_type) -> bool:
+    """True if any statement/expression of ``node_type`` survives in ``fn``."""
+    found = False
+
+    def walk_expr(e):
+        nonlocal found
+        if isinstance(e, node_type):
+            found = True
+        if isinstance(e, Expr):
+            for c in e.children():
+                walk_expr(c)
+
+    def walk(stmts):
+        nonlocal found
+        for st in stmts:
+            if isinstance(st, node_type):
+                found = True
+            if isinstance(st, (Let, Mutate)):
+                walk_expr(st.expr)
+            elif isinstance(st, Store):
+                walk_expr(st.value)
+            elif isinstance(st, For):
+                walk_expr(st.start)
+                walk_expr(st.stop)
+                walk(st.body)
+            elif isinstance(st, If):
+                walk_expr(st.cond)
+                walk(st.then)
+                walk(st.orelse)
+            elif isinstance(st, Return) and st.value is not None:
+                vals = st.value if isinstance(st.value, tuple) else (st.value,)
+                for v in vals:
+                    walk_expr(v)
+
+    walk(fn.body)
+    return found

@@ -1,0 +1,38 @@
+"""Shared utilities: DNA encoding, RNG discipline, validation helpers."""
+
+from repro.util.encoding import (
+    ALPHABET,
+    CODE_TO_CHAR,
+    CHAR_TO_CODE,
+    encode,
+    decode,
+    pack_2bit,
+    unpack_2bit,
+    reverse_complement,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.checks import (
+    check_sequence,
+    check_positive,
+    check_in,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = [
+    "ALPHABET",
+    "CODE_TO_CHAR",
+    "CHAR_TO_CODE",
+    "encode",
+    "decode",
+    "pack_2bit",
+    "unpack_2bit",
+    "reverse_complement",
+    "make_rng",
+    "spawn_rngs",
+    "check_sequence",
+    "check_positive",
+    "check_in",
+    "ReproError",
+    "ValidationError",
+]

@@ -1,0 +1,49 @@
+"""Validation helpers and the library's exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid user input (bad sequence, bad parameter)."""
+
+
+class StagingError(ReproError):
+    """Error raised while building/partially evaluating a staged kernel."""
+
+
+class SchedulingError(ReproError):
+    """Dependency violation or deadlock detected by a wavefront scheduler."""
+
+
+def check_sequence(seq: np.ndarray, name: str = "sequence") -> np.ndarray:
+    """Validate an encoded sequence (1-D uint8, codes 0..3, non-empty)."""
+    seq = np.asarray(seq)
+    if seq.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {seq.shape}")
+    if seq.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if seq.dtype != np.uint8:
+        raise ValidationError(f"{name} must be uint8 codes, got {seq.dtype}")
+    if seq.max(initial=0) > 3:
+        raise ValidationError(f"{name} contains codes outside 0..3")
+    return seq
+
+
+def check_positive(value, name: str):
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_in(value, options, name: str):
+    """Require ``value`` to be one of ``options``."""
+    if value not in options:
+        raise ValidationError(f"{name} must be one of {sorted(options)!r}, got {value!r}")
+    return value

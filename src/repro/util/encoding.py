@@ -1,0 +1,94 @@
+"""DNA sequence encoding.
+
+Sequences travel through the library as ``numpy.uint8`` arrays of alphabet
+codes (A=0, C=1, G=2, T=3).  This mirrors AnySeq's internal representation
+where characters are small integers so that substitution scoring can be a
+table lookup and the FPGA path can stream 2-bit symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical DNA alphabet, index == code.
+ALPHABET = "ACGT"
+
+#: code -> character lookup table (uint8 ASCII).
+CODE_TO_CHAR = np.frombuffer(ALPHABET.encode(), dtype=np.uint8)
+
+#: 256-entry ASCII -> code table; 255 marks an invalid character.
+CHAR_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _i, _c in enumerate(ALPHABET):
+    CHAR_TO_CODE[ord(_c)] = _i
+    CHAR_TO_CODE[ord(_c.lower())] = _i
+
+#: Complement codes: A<->T, C<->G.
+_COMPLEMENT = np.array([3, 2, 1, 0], dtype=np.uint8)
+
+
+def encode(seq) -> np.ndarray:
+    """Encode a DNA sequence to a ``uint8`` code array.
+
+    Accepts ``str``, ``bytes``, or an existing code array (returned as-is
+    after validation).  Raises ``ValueError`` on characters outside ACGT
+    (case-insensitive).
+    """
+    if isinstance(seq, np.ndarray):
+        if seq.dtype != np.uint8:
+            seq = seq.astype(np.uint8)
+        if seq.size and seq.max(initial=0) > 3:
+            raise ValueError("code array contains values outside 0..3")
+        return seq
+    if isinstance(seq, str):
+        raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    elif isinstance(seq, (bytes, bytearray)):
+        raw = np.frombuffer(bytes(seq), dtype=np.uint8)
+    else:
+        raw = np.asarray(seq, dtype=np.uint8)
+        if raw.size and raw.max(initial=0) > 3:
+            raise ValueError("code sequence contains values outside 0..3")
+        return raw
+    codes = CHAR_TO_CODE[raw]
+    if codes.size and codes.max(initial=0) == 255:
+        bad = chr(int(raw[np.argmax(codes == 255)]))
+        raise ValueError(f"invalid DNA character {bad!r}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back to an ACGT string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    return CODE_TO_CHAR[codes].tobytes().decode("ascii")
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement of an encoded sequence."""
+    return _COMPLEMENT[np.asarray(codes, dtype=np.uint8)][::-1]
+
+
+def pack_2bit(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack a code array into 2-bit symbols (4 per byte).
+
+    Returns ``(packed, n)`` where ``n`` is the original length.  Used by the
+    FPGA stream components which model 2-bit symbol channels.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    padded = np.zeros((n + 3) // 4 * 4, dtype=np.uint8)
+    padded[:n] = codes
+    quads = padded.reshape(-1, 4)
+    packed = (
+        quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
+    ).astype(np.uint8)
+    return packed, n
+
+
+def unpack_2bit(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_2bit`."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    out = np.empty(packed.size * 4, dtype=np.uint8)
+    out[0::4] = packed & 3
+    out[1::4] = (packed >> 2) & 3
+    out[2::4] = (packed >> 4) & 3
+    out[3::4] = (packed >> 6) & 3
+    return out[:n]

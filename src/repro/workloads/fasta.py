@@ -1,0 +1,149 @@
+"""Minimal FASTA/FASTQ input/output.
+
+The paper's pipeline ingests genomes and read sets from standard formats;
+this module provides the I/O layer so the examples can round-trip real
+files.  Only the DNA alphabet handled by the library is supported; other
+characters raise on read unless ``skip_invalid`` maps them to ``A`` (the
+common masking convention for N-runs).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.checks import ValidationError
+from repro.util.encoding import CHAR_TO_CODE, decode
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta", "read_fastq", "write_fastq"]
+
+
+@dataclass
+class FastaRecord:
+    """One sequence record: identifier, description, encoded sequence."""
+
+    name: str
+    sequence: np.ndarray  # uint8 codes
+    description: str = ""
+    quality: str | None = None  # FASTQ only
+
+    def __len__(self) -> int:
+        return int(self.sequence.size)
+
+    def text(self) -> str:
+        return decode(self.sequence)
+
+
+def _encode_line(line: str, skip_invalid: bool) -> np.ndarray:
+    raw = np.frombuffer(line.encode("ascii"), dtype=np.uint8)
+    codes = CHAR_TO_CODE[raw]
+    bad = codes == 255
+    if bad.any():
+        if not skip_invalid:
+            ch = chr(int(raw[np.argmax(bad)]))
+            raise ValidationError(f"invalid sequence character {ch!r}")
+        codes = codes.copy()
+        codes[bad] = 0  # mask to 'A'
+    return codes
+
+
+def read_fasta(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
+    """Parse a FASTA file (path, file object, or literal text)."""
+    text = _slurp(path_or_text)
+    records: list[FastaRecord] = []
+    name = desc = None
+    chunks: list[np.ndarray] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append(_finish(name, desc, chunks))
+            head = line[1:].split(None, 1)
+            name = head[0] if head else ""
+            desc = head[1] if len(head) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValidationError("FASTA data before the first header")
+            chunks.append(_encode_line(line, skip_invalid))
+    if name is not None:
+        records.append(_finish(name, desc, chunks))
+    if not records:
+        raise ValidationError("no FASTA records found")
+    return records
+
+
+def _finish(name, desc, chunks) -> FastaRecord:
+    seq = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint8)
+    return FastaRecord(name=name, sequence=seq, description=desc)
+
+
+def write_fasta(records, path=None, width: int = 70) -> str:
+    """Serialize records to FASTA; writes to ``path`` if given."""
+    out = io.StringIO()
+    for rec in records:
+        header = f">{rec.name}"
+        if rec.description:
+            header += f" {rec.description}"
+        out.write(header + "\n")
+        text = rec.text()
+        for off in range(0, len(text), width):
+            out.write(text[off : off + width] + "\n")
+    data = out.getvalue()
+    if path is not None:
+        Path(path).write_text(data)
+    return data
+
+
+def read_fastq(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
+    """Parse a FASTQ file (4-line records)."""
+    lines = [ln for ln in _slurp(path_or_text).splitlines() if ln.strip()]
+    if len(lines) % 4 != 0:
+        raise ValidationError("FASTQ line count is not a multiple of 4")
+    records = []
+    for off in range(0, len(lines), 4):
+        head, seq, plus, qual = lines[off : off + 4]
+        if not head.startswith("@") or not plus.startswith("+"):
+            raise ValidationError(f"malformed FASTQ record at line {off + 1}")
+        if len(qual) != len(seq):
+            raise ValidationError("FASTQ quality length mismatch")
+        parts = head[1:].split(None, 1)
+        records.append(
+            FastaRecord(
+                name=parts[0] if parts else "",
+                sequence=_encode_line(seq.strip(), skip_invalid),
+                description=parts[1] if len(parts) > 1 else "",
+                quality=qual,
+            )
+        )
+    return records
+
+
+def write_fastq(records, path=None) -> str:
+    """Serialize records to FASTQ (quality defaults to maximal 'I')."""
+    out = io.StringIO()
+    for rec in records:
+        qual = rec.quality if rec.quality is not None else "I" * len(rec)
+        if len(qual) != len(rec):
+            raise ValidationError("quality string length mismatch")
+        out.write(f"@{rec.name}\n{rec.text()}\n+\n{qual}\n")
+    data = out.getvalue()
+    if path is not None:
+        Path(path).write_text(data)
+    return data
+
+
+def _slurp(path_or_text) -> str:
+    if hasattr(path_or_text, "read"):
+        return path_or_text.read()
+    if isinstance(path_or_text, Path):
+        return path_or_text.read_text()
+    text = str(path_or_text)
+    if "\n" in text:  # literal record text, not a filename
+        return text
+    return Path(text).read_text()

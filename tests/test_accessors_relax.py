@@ -1,0 +1,206 @@
+"""Unit tests for the data accessors and relaxation functions (paper §III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accessors import (
+    MatrixView,
+    RowView,
+    SequenceView,
+    TableView,
+    cyclic_rows,
+)
+from repro.core.relax import PrevScores, nu_of, relax_cell, subst_expr
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    matrix_subst_scoring,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.types import NEG_INF, PRED_NO_GAP
+from repro.stage import (
+    Const,
+    KernelBuilder,
+    Load,
+    Select,
+    Var,
+    build_kernel,
+    contains_node,
+    fold_expr,
+    specialize,
+)
+
+SUB = simple_subst_scoring(2, -1)
+
+
+class TestSequenceView:
+    def test_at_builds_load(self):
+        v = SequenceView("q", Var("n"))
+        e = v.at(3)
+        assert isinstance(e, Load) and e.array == "q"
+
+    def test_reversed_indexing(self):
+        # The divide-and-conquer traceback reverses sequences by flipping
+        # the accessor, not by copying data (paper §III-C).
+        v = SequenceView("q", Const(10), reverse=True)
+        e = fold_expr(v.at(0).index[0])
+        assert e == Const(9)
+
+    def test_reversed_view_roundtrip(self):
+        v = SequenceView("q", Const(10))
+        assert v.reversed_view().reversed_view() == v
+
+    def test_whole_rejected_on_reversed(self):
+        with pytest.raises(ValueError):
+            SequenceView("q", Const(4), reverse=True).whole()
+
+    def test_compiled_access(self):
+        b = KernelBuilder("k", ["q"])
+        v = SequenceView("q", Const(4))
+        b.ret(v.at(2))
+        k = build_kernel(b, dialect="scalar")
+        assert k(np.array([9, 8, 7, 6])) == 7
+
+    def test_compiled_reverse_access(self):
+        b = KernelBuilder("k", ["q"])
+        v = SequenceView("q", Const(4), reverse=True)
+        b.ret(v.at(0))
+        k = build_kernel(b, dialect="scalar")
+        assert k(np.array([9, 8, 7, 6])) == 6
+
+
+class TestRowView:
+    def test_row_ops_compile_for_1d_and_2d(self):
+        b = KernelBuilder("k", ["H"])
+        r = RowView("H")
+        r.put(b, 1, 3, r.cells(0, 2) + 10)
+        k = build_kernel(b, dialect="vector")
+        h1 = np.array([1, 2, 3])
+        k(h1)
+        np.testing.assert_array_equal(h1, [1, 11, 12])
+        h2 = np.array([[1, 2, 3], [4, 5, 6]])
+        k(h2)
+        np.testing.assert_array_equal(h2, [[1, 11, 12], [4, 14, 15]])
+
+    def test_at_and_put_at(self):
+        b = KernelBuilder("k", ["H"])
+        r = RowView("H")
+        r.put_at(b, 0, r.at(2) * 2)
+        k = build_kernel(b, dialect="vector")
+        h = np.array([0, 5, 7])
+        k(h)
+        assert h[0] == 14
+
+
+class TestMatrixView:
+    def test_identity_remap(self):
+        b = KernelBuilder("k", ["M"])
+        mv = MatrixView("M")
+        mv.write(b, 1, 2, mv.read(0, 0) + 5)
+        k = build_kernel(b, dialect="scalar")
+        m = np.zeros((3, 3), dtype=np.int64)
+        m[0, 0] = 7
+        k(m)
+        assert m[1, 2] == 12
+
+    def test_cyclic_rows_remap(self):
+        # The paper's intra-tile cyclic buffer: row index wraps modulo the
+        # buffer height, recycling physical rows.
+        b = KernelBuilder("k", ["M", "i"])
+        mv = MatrixView("M", remap=cyclic_rows(Const(2)))
+        mv.write(b, b.var("i"), 0, Const(42))
+        k = build_kernel(b, dialect="scalar")
+        m = np.zeros((2, 1), dtype=np.int64)
+        k(m, 5)  # row 5 -> physical row 1
+        assert m[1, 0] == 42 and m[0, 0] == 0
+
+
+class TestTableView:
+    def test_gather_compiles(self):
+        b = KernelBuilder("k", ["table", "q", "s"])
+        tv = TableView("table")
+        b.ret(tv.lookup(b.load("q", (0,)), b.load("s", (0,))))
+        k = build_kernel(b, dialect="scalar")
+        table = np.arange(16).reshape(4, 4)
+        assert k(table, np.array([2]), np.array([3])) == table[2, 3]
+
+
+class TestNuOf:
+    def test_values(self):
+        lin = linear_gap_scoring(SUB, -1)
+        assert nu_of(local_scheme(lin)) == 0
+        assert nu_of(global_scheme(lin)) == NEG_INF
+        assert nu_of(semiglobal_scheme(lin)) == NEG_INF
+
+
+class TestSubstExpr:
+    def test_simple_inlines_to_select(self):
+        scheme = global_scheme(linear_gap_scoring(SUB, -1))
+        e = subst_expr(scheme, Var("a"), Var("b"))
+        assert isinstance(e, Select)
+
+    def test_matrix_requires_table(self):
+        scheme = global_scheme(
+            linear_gap_scoring(
+                matrix_subst_scoring(np.arange(16).reshape(4, 4)), -1
+            )
+        )
+        with pytest.raises(AssertionError):
+            subst_expr(scheme, Var("a"), Var("b"), None)
+
+
+class TestRelaxCell:
+    def _prev(self, affine):
+        return PrevScores(
+            diag=Var("d"),
+            up=Var("u"),
+            left=Var("l"),
+            e_prev=Var("ep") if affine else None,
+            f_prev=Var("fp") if affine else None,
+        )
+
+    def test_linear_global_folds_nu_away(self):
+        scheme = global_scheme(linear_gap_scoring(SUB, -1))
+        step = relax_cell(scheme, self._prev(False), Var("sub"))
+        b = KernelBuilder("k", ["d", "u", "l", "sub"])
+        b.ret(step.score)
+        fn = specialize(b.build())
+        # ν=-inf must leave no residue in the specialized expression.
+        src = build_kernel(fn, dialect="scalar").source
+        assert str(NEG_INF) not in src
+
+    def test_linear_cell_value(self):
+        scheme = global_scheme(linear_gap_scoring(SUB, -1))
+        step = relax_cell(scheme, self._prev(False), Var("sub"))
+        b = KernelBuilder("k", ["d", "u", "l", "sub"])
+        b.ret(step.score)
+        k = build_kernel(b, dialect="scalar")
+        # max(d+sub, u-1, l-1)
+        assert k(5, 3, 9, 2) == 8
+        assert k(0, 20, 0, 2) == 19
+
+    def test_affine_cell_produces_e_f(self):
+        scheme = global_scheme(affine_gap_scoring(SUB, -2, -1))
+        step = relax_cell(scheme, self._prev(True), Var("sub"))
+        assert step.e is not None and step.f is not None
+        b = KernelBuilder("k", ["d", "u", "l", "ep", "fp", "sub"])
+        b.ret((step.score, step.e, step.f))
+        k = build_kernel(b, dialect="scalar")
+        h, e, f = k(5, 4, 4, 10, -100, 2)
+        assert e == max(10 - 1, 4 - 3) == 9
+        assert f == max(-100 - 1, 4 - 3) == 1
+        assert h == max(5 + 2, e, f) == 9
+
+    def test_predecessor_tracking_optional(self):
+        scheme = global_scheme(linear_gap_scoring(SUB, -1))
+        no_pred = relax_cell(scheme, self._prev(False), Var("sub"), False)
+        with_pred = relax_cell(scheme, self._prev(False), Var("sub"), True)
+        assert no_pred.predc is None
+        assert with_pred.predc is not None
+        b = KernelBuilder("k", ["d", "u", "l", "sub"])
+        b.ret(with_pred.predc)
+        k = build_kernel(b, dialect="scalar")
+        assert k(10, 0, 0, 2) == PRED_NO_GAP

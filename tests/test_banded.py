@@ -1,0 +1,140 @@
+"""Tests for banded global alignment (repro.core.banded)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.banded import banded_score
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    simple_subst_scoring,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+from repro.workloads import related_pair
+
+SUB = simple_subst_scoring(2, -1)
+LIN = global_scheme(linear_gap_scoring(SUB, -1))
+AFF = global_scheme(affine_gap_scoring(SUB, -2, -1))
+
+
+class TestBandedExactness:
+    @pytest.mark.parametrize("scheme", [LIN, AFF], ids=["linear", "affine"])
+    def test_full_band_equals_unbanded(self, scheme):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            n, m = rng.integers(1, 60, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            band = max(n, m)
+            assert banded_score(q, s, scheme, band) == score_reference(q, s, scheme)
+
+    @pytest.mark.parametrize("scheme", [LIN, AFF], ids=["linear", "affine"])
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=st.text(alphabet="ACGT", min_size=1, max_size=40),
+        s=st.text(alphabet="ACGT", min_size=1, max_size=40),
+        extra=st.integers(0, 10),
+    )
+    def test_band_monotone_and_bounded(self, scheme, q, s, extra):
+        # Widening the band can only improve the constrained optimum, and
+        # it never exceeds the unbanded optimum.
+        qe, se = encode(q), encode(s)
+        lo_band = abs(len(q) - len(s)) + extra
+        hi_band = max(len(q), len(s))
+        narrow = banded_score(qe, se, scheme, lo_band)
+        wide = banded_score(qe, se, scheme, hi_band)
+        full = score_reference(qe, se, scheme)
+        assert narrow <= wide <= full
+        assert wide == full  # hi_band covers the whole matrix
+
+    def test_similar_sequences_tight_band_is_exact(self):
+        # The use case: near-identical genomes align within a narrow band.
+        pair = related_pair(800, divergence=0.03, seed=5)
+        full = score_reference(pair.query, pair.subject, LIN)
+        band = abs(pair.query.size - pair.subject.size) + 40
+        assert banded_score(pair.query, pair.subject, LIN, band) == full
+
+    def test_band_too_narrow_cuts_score(self):
+        # A big indel outside the band must lower the constrained score.
+        q = encode("A" * 30 + "C" * 30)
+        s = encode("A" * 30)
+        full = score_reference(q, s, LIN)
+        assert banded_score(q, s, LIN, 30) == full
+        # band exactly |n-m| forces the pure-diagonal+edge path
+        assert banded_score(q, s, LIN, 30) >= banded_score(q, s, AFF, 30)
+
+
+def _masked_reference_banded(q, s, scheme, band):
+    """Independent oracle: reference DP with out-of-band cells at −∞."""
+    from repro.core.types import NEG_INF
+
+    n, m = q.size, s.size
+    gaps = scheme.scoring.gaps
+    t = scheme.scoring.subst.table
+    NI = NEG_INF // 2
+    H = np.full((n + 1, m + 1), NI, dtype=np.int64)
+    affine = gaps.is_affine
+    if affine:
+        go, ge = gaps.open, gaps.extend
+        E = np.full((n + 1, m + 1), NI, dtype=np.int64)
+        F = np.full((n + 1, m + 1), NI, dtype=np.int64)
+    else:
+        g = gaps.gap
+    H[0, 0] = 0
+    for j in range(1, min(m, band) + 1):
+        H[0, j] = (go + ge * j) if affine else g * j
+        if affine:
+            F[0, j] = H[0, j]
+    for i in range(1, n + 1):
+        if i <= band:
+            H[i, 0] = (go + ge * i) if affine else g * i
+            if affine:
+                E[i, 0] = H[i, 0]
+        for j in range(max(1, i - band), min(m, i + band) + 1):
+            if affine:
+                E[i, j] = max(E[i - 1, j] + ge, H[i - 1, j] + go + ge)
+                F[i, j] = max(F[i, j - 1] + ge, H[i, j - 1] + go + ge)
+                H[i, j] = max(H[i - 1, j - 1] + t[q[i - 1], s[j - 1]], E[i, j], F[i, j])
+            else:
+                H[i, j] = max(
+                    H[i - 1, j - 1] + t[q[i - 1], s[j - 1]],
+                    H[i - 1, j] + g,
+                    H[i, j - 1] + g,
+                )
+    return int(H[n, m])
+
+
+class TestBandedAgainstMaskedOracle:
+    @pytest.mark.parametrize("scheme", [LIN, AFF], ids=["linear", "affine"])
+    def test_narrow_bands_exact(self, scheme):
+        rng = np.random.default_rng(23)
+        for _ in range(40):
+            n, m = rng.integers(1, 40, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            band = abs(int(n) - int(m)) + int(rng.integers(0, 12))
+            assert banded_score(q, s, scheme, band) == _masked_reference_banded(
+                q, s, scheme, band
+            )
+
+
+class TestBandedValidation:
+    def test_band_cannot_reach_corner(self):
+        with pytest.raises(ValidationError, match="corner"):
+            banded_score(encode("A" * 10), encode("A" * 3), LIN, 2)
+
+    def test_non_global_rejected(self):
+        scheme = local_scheme(linear_gap_scoring(SUB, -1))
+        with pytest.raises(ValidationError, match="global"):
+            banded_score(encode("ACGT"), encode("ACGT"), scheme, 4)
+
+    def test_zero_band_square(self):
+        # band 0 on equal lengths = pure diagonal (no gaps at all).
+        q, s = encode("ACGTACGT"), encode("ACCTACGT")
+        assert banded_score(q, s, LIN, 0) == 2 * 7 - 1

@@ -1,0 +1,134 @@
+"""Tests for the comparator reimplementations (repro.baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BASELINES,
+    NvbioLikeAligner,
+    ParasailLikeAligner,
+    SeqAnLikeAligner,
+    SswLikeAligner,
+)
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.gpu import GpuAligner
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+SUB = simple_subst_scoring(2, -1)
+SCHEMES = {
+    "global-linear": global_scheme(linear_gap_scoring(SUB, -1)),
+    "global-affine": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "local-linear": local_scheme(linear_gap_scoring(SUB, -1)),
+    "local-affine": local_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "semiglobal-linear": semiglobal_scheme(linear_gap_scoring(SUB, -1)),
+    "semiglobal-affine": semiglobal_scheme(affine_gap_scoring(SUB, -2, -1)),
+}
+
+
+def _pair(rng, hi=100):
+    n, m = rng.integers(2, hi, 2)
+    return (
+        rng.integers(0, 4, n).astype(np.uint8),
+        rng.integers(0, 4, m).astype(np.uint8),
+    )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(BASELINES) >= {"seqan", "parasail", "ssw", "nvbio"}
+
+    def test_names_attached(self):
+        assert SeqAnLikeAligner.baseline_name == "seqan"
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestSeqAnLike:
+    def test_matches_reference(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for _ in range(5):
+            q, s = _pair(rng)
+            assert SeqAnLikeAligner(scheme, tile=(32, 48)).score(q, s) == score_reference(
+                q, s, scheme
+            )
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestParasailLike:
+    def test_matches_reference(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng((hash(name) + 1) % 2**32)
+        for _ in range(5):
+            q, s = _pair(rng)
+            assert ParasailLikeAligner(scheme, tile=(32, 48)).score(
+                q, s
+            ) == score_reference(q, s, scheme)
+
+    def test_linear_is_affinized(self, name):
+        # Paper §V: Parasail always computes affine gaps, even for Go=0.
+        aligner = ParasailLikeAligner(SCHEMES[name])
+        assert aligner.scheme.scoring.is_affine
+
+
+class TestSswLike:
+    @pytest.mark.parametrize("name", ["local-linear", "local-affine"])
+    @pytest.mark.parametrize("lanes", [4, 16])
+    def test_matches_reference(self, name, lanes):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng((hash(name) + lanes) % 2**32)
+        for _ in range(6):
+            q, s = _pair(rng)
+            assert SswLikeAligner(scheme, lanes=lanes).score(q, s) == score_reference(
+                q, s, scheme
+            )
+
+    def test_rejects_non_local(self):
+        with pytest.raises(ValidationError, match="local"):
+            SswLikeAligner(SCHEMES["global-linear"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        q=st.text(alphabet="ACGT", min_size=2, max_size=70),
+        s=st.text(alphabet="ACGT", min_size=2, max_size=70),
+    )
+    def test_lazy_f_property(self, q, s):
+        scheme = SCHEMES["local-affine"]
+        a = SswLikeAligner(scheme, lanes=8)
+        assert a.score(encode(q), encode(s)) == score_reference(
+            encode(q), encode(s), scheme
+        )
+        assert a.lazy_f_passes >= len(s)  # at least one pass per column
+
+
+class TestNvbioLike:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_matches_reference(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng((hash(name) + 7) % 2**32)
+        q, s = _pair(rng)
+        assert NvbioLikeAligner(scheme, tile=(32, 48)).score(q, s) == score_reference(
+            q, s, scheme
+        )
+
+    def test_anyseq_wins_by_paper_ratio_long(self):
+        scheme = SCHEMES["global-linear"]
+        anyseq = GpuAligner(scheme).model_gcups_at(4_411_532, 4_641_652)
+        nvbio = NvbioLikeAligner(scheme).model_gcups_at(4_411_532, 4_641_652)
+        assert 1.02 < anyseq / nvbio < 1.15  # paper: up to 1.1
+
+    def test_anyseq_wins_by_paper_ratio_reads(self):
+        scheme = SCHEMES["global-linear"]
+        anyseq = GpuAligner(scheme).model_gcups_batch(1_000_000, 150, 166)
+        nvbio = NvbioLikeAligner(scheme).model_gcups_batch(1_000_000, 150, 166)
+        assert 1.05 < anyseq / nvbio < 1.2  # paper: up to 1.12

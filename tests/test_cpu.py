@@ -1,0 +1,183 @@
+"""Tests for the CPU mapping (repro.cpu: tiles, wavefront, SIMD batching)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.cpu import (
+    AVX2,
+    AVX512,
+    SCALAR_PRESET,
+    SimdBatchAligner,
+    SimdPreset,
+    WavefrontAligner,
+    initial_borders,
+    relax_tile,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+SUB = simple_subst_scoring(2, -1)
+SCHEMES = {
+    "global-linear": global_scheme(linear_gap_scoring(SUB, -1)),
+    "global-affine": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "local-linear": local_scheme(linear_gap_scoring(SUB, -1)),
+    "local-affine": local_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "semiglobal-linear": semiglobal_scheme(linear_gap_scoring(SUB, -1)),
+    "semiglobal-affine": semiglobal_scheme(affine_gap_scoring(SUB, -2, -1)),
+}
+
+
+def _pair(rng, lo=2, hi=100):
+    n, m = rng.integers(lo, hi, 2)
+    return (
+        rng.integers(0, 4, n).astype(np.uint8),
+        rng.integers(0, 4, m).astype(np.uint8),
+    )
+
+
+class TestRelaxTileSingle:
+    """One tile covering the whole matrix must equal the reference."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_whole_matrix_tile(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(1)
+        q, s = _pair(rng, hi=40)
+        borders = initial_borders(scheme, q.size, s.size, 1, 1)
+        res = relax_tile(q, s, scheme, borders)
+        ref = score_reference(q, s, scheme)
+        from repro.core.types import AlignmentType
+
+        if scheme.alignment_type is AlignmentType.GLOBAL:
+            assert int(res.bottom_h[-1]) == ref
+        elif scheme.alignment_type is AlignmentType.LOCAL:
+            assert max(int(res.best), 0) == ref
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestWavefrontAligner:
+    def test_matches_reference_various_tiles(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for tile in [(16, 16), (7, 13), (50, 20)]:
+            q, s = _pair(rng)
+            wa = WavefrontAligner(scheme, tile=tile)
+            assert wa.score(q, s) == score_reference(q, s, scheme)
+
+    def test_static_scheduler_agrees(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(3)
+        q, s = _pair(rng)
+        dyn = WavefrontAligner(scheme, tile=(16, 16), scheduler="dynamic").score(q, s)
+        stat = WavefrontAligner(scheme, tile=(16, 16), scheduler="static").score(q, s)
+        assert dyn == stat
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        q=st.text(alphabet="ACGT", min_size=2, max_size=60),
+        s=st.text(alphabet="ACGT", min_size=2, max_size=60),
+        th=st.integers(3, 20),
+        tw=st.integers(3, 20),
+    )
+    def test_tiling_invariance_property(self, name, q, s, th, tw):
+        # The tiling must never change the score.
+        scheme = SCHEMES[name]
+        wa = WavefrontAligner(scheme, tile=(th, tw))
+        assert wa.score(encode(q), encode(s)) == score_reference(
+            encode(q), encode(s), scheme
+        )
+
+
+class TestWavefrontThreaded:
+    def test_threads_match_serial(self):
+        scheme = SCHEMES["global-affine"]
+        rng = np.random.default_rng(5)
+        q, s = _pair(rng, lo=300, hi=400)
+        serial = WavefrontAligner(scheme, tile=(64, 64), threads=1).score(q, s)
+        threaded = WavefrontAligner(scheme, tile=(64, 64), threads=4).score(q, s)
+        assert serial == threaded == score_reference(q, s, scheme)
+
+    def test_score_many_lane_blocks(self):
+        scheme = SCHEMES["semiglobal-affine"]
+        rng = np.random.default_rng(6)
+        pairs = [_pair(rng, lo=40, hi=80) for _ in range(10)]
+        wa = WavefrontAligner(scheme, tile=(16, 16), lanes=4)
+        got = wa.score_many(pairs)
+        assert got == [score_reference(q, s, scheme) for q, s in pairs]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            WavefrontAligner(tile=(0, 4))
+        with pytest.raises(ValidationError):
+            WavefrontAligner(scheduler="magic")
+
+
+class TestSimdPresets:
+    def test_paper_lane_counts(self):
+        assert AVX2.lanes == 16 and np.dtype(AVX2.dtype) == np.int16
+        assert AVX512.lanes == 32 and np.dtype(AVX512.dtype) == np.int16
+        assert SCALAR_PRESET.lanes == 1
+
+    def test_max_safe_extent_bound(self):
+        scheme = SCHEMES["global-linear"]
+        ext = AVX2.max_safe_extent(scheme)
+        # match=+2 dominates: 2*ext < 2**13
+        assert 2 * ext < 2**13 <= 2 * (ext + 1)
+
+    def test_wider_dtype_larger_extent(self):
+        scheme = SCHEMES["global-linear"]
+        assert SCALAR_PRESET.max_safe_extent(scheme) > AVX2.max_safe_extent(scheme)
+
+
+class TestSimdBatchAligner:
+    @pytest.mark.parametrize("preset", [AVX2, AVX512], ids=["avx2", "avx512"])
+    def test_batch_matches_reference(self, preset):
+        scheme = SCHEMES["global-linear"]
+        rng = np.random.default_rng(7)
+        count = preset.lanes * 2 + 5  # forces a partial tail block
+        qs = rng.integers(0, 4, (count, 50)).astype(np.uint8)
+        ss = rng.integers(0, 4, (count, 55)).astype(np.uint8)
+        got = SimdBatchAligner(scheme, preset).score_batch(qs, ss)
+        want = [score_reference(qs[k], ss[k], scheme) for k in range(count)]
+        assert list(got) == want
+
+    def test_all_schemes(self):
+        rng = np.random.default_rng(8)
+        qs = rng.integers(0, 4, (20, 30)).astype(np.uint8)
+        ss = rng.integers(0, 4, (20, 33)).astype(np.uint8)
+        for scheme in SCHEMES.values():
+            got = SimdBatchAligner(scheme, AVX2).score_batch(qs, ss)
+            want = [score_reference(qs[k], ss[k], scheme) for k in range(20)]
+            assert list(got) == want
+
+    def test_overflow_extent_rejected(self):
+        scheme = SCHEMES["global-linear"]
+        qs = np.zeros((16, 5000), dtype=np.uint8)
+        with pytest.raises(ValidationError, match="overflow"):
+            SimdBatchAligner(scheme, AVX2).score_batch(qs, qs)
+
+    def test_score_pairs(self):
+        scheme = SCHEMES["local-linear"]
+        pairs = [("ACGTACGT", "ACGTTCGT"), ("AAAACCCC", "AAAAGGGG")]
+        got = SimdBatchAligner(scheme, AVX2).score_pairs(pairs)
+        want = [
+            score_reference(encode(q), encode(s), scheme) for q, s in pairs
+        ]
+        assert list(got) == want
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            SimdBatchAligner().score_batch(
+                np.zeros((2, 5), np.uint8), np.zeros((3, 5), np.uint8)
+            )

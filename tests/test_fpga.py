@@ -1,0 +1,145 @@
+"""Tests for the simulated FPGA backend (repro.fpga)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    matrix_subst_scoring,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.fpga import ZCU104, FpgaModel, SystolicAligner, SystolicStats
+from repro.util.encoding import encode
+
+SUB = simple_subst_scoring(2, -1)
+SCHEMES = {
+    "global-linear": global_scheme(linear_gap_scoring(SUB, -1)),
+    "global-affine": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "local-linear": local_scheme(linear_gap_scoring(SUB, -1)),
+    "local-affine": local_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "semiglobal-linear": semiglobal_scheme(linear_gap_scoring(SUB, -1)),
+    "semiglobal-affine": semiglobal_scheme(affine_gap_scoring(SUB, -2, -1)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestSystolicFunctional:
+    @pytest.mark.parametrize("kpe", [4, 16, 128])
+    def test_matches_reference(self, name, kpe):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng((hash(name) + kpe) % 2**32)
+        for _ in range(5):
+            n, m = rng.integers(2, 90, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            assert SystolicAligner(scheme, k_pe=kpe).score(q, s) == score_reference(
+                q, s, scheme
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        q=st.text(alphabet="ACGT", min_size=2, max_size=60),
+        s=st.text(alphabet="ACGT", min_size=2, max_size=60),
+        kpe=st.sampled_from([3, 8, 32]),
+    )
+    def test_kpe_invariance(self, name, q, s, kpe):
+        # The number of processing elements must never change the score.
+        scheme = SCHEMES[name]
+        assert SystolicAligner(scheme, k_pe=kpe).score(
+            encode(q), encode(s)
+        ) == score_reference(encode(q), encode(s), scheme)
+
+
+class TestCycleCounts:
+    def test_single_stripe_cycles(self):
+        fa = SystolicAligner(SCHEMES["global-linear"], k_pe=64)
+        q = np.zeros(40, dtype=np.uint8)
+        s = np.zeros(100, dtype=np.uint8)
+        fa.score(q, s)
+        # One stripe: m + h fill/drain cycles.
+        assert fa.stats.stripes == 1
+        assert fa.stats.cycles == 100 + 40
+        assert fa.stats.cells == 40 * 100
+
+    def test_multi_stripe_cycles(self):
+        fa = SystolicAligner(SCHEMES["global-affine"], k_pe=16)
+        q = np.zeros(50, dtype=np.uint8)  # 4 stripes: 16+16+16+2
+        s = np.zeros(80, dtype=np.uint8)
+        fa.score(q, s)
+        assert fa.stats.stripes == 4
+        assert fa.stats.cycles == 3 * (80 + 16) + (80 + 2)
+        assert fa.stats.ddr_chars_streamed == 4 * 80
+
+    def test_shorter_sequence_loaded_into_pes(self):
+        # The longer sequence streams; stripes follow the shorter one.
+        fa = SystolicAligner(SCHEMES["global-linear"], k_pe=16)
+        fa.score(np.zeros(200, dtype=np.uint8), np.zeros(30, dtype=np.uint8))
+        assert fa.stats.meta["n"] == 30 and fa.stats.meta["m"] == 200
+
+    def test_asymmetric_table_keeps_orientation(self):
+        m = np.arange(16).reshape(4, 4)  # deliberately asymmetric
+        scheme = global_scheme(linear_gap_scoring(matrix_subst_scoring(m), -1))
+        rng = np.random.default_rng(3)
+        q = rng.integers(0, 4, 60).astype(np.uint8)
+        s = rng.integers(0, 4, 20).astype(np.uint8)
+        fa = SystolicAligner(scheme, k_pe=8)
+        assert fa.score(q, s) == score_reference(q, s, scheme)
+        assert fa.stats.meta["n"] == 60  # no transpose
+
+    def test_pe_utilization(self):
+        fa = SystolicAligner(SCHEMES["global-linear"], k_pe=32)
+        fa.score(np.zeros(32, dtype=np.uint8), np.zeros(1000, dtype=np.uint8))
+        assert 0.9 < fa.stats.pe_utilization <= 1.0
+
+
+class TestFpgaModel:
+    def _long_genome_stats(self):
+        n, m = 4_411_532, 4_641_652
+        stripes = (n + 127) // 128
+        return SystolicStats(
+            cycles=stripes * (m + 128),
+            stripes=stripes,
+            cells=n * m,
+            ddr_chars_streamed=stripes * m,
+            meta={"k_pe": 128},
+        )
+
+    def test_paper_gcups_anchor(self):
+        g = ZCU104.gcups(self._long_genome_stats())
+        assert 18 < g < 22  # paper: ~20 GCUPS
+
+    def test_paper_energy_anchor(self):
+        gpw = ZCU104.gcups_per_watt(self._long_genome_stats())
+        assert 2.9 < gpw < 3.5  # paper Table II: 3.187
+
+    def test_transfer_bound(self):
+        # Paper: a no-op module is as fast as the alignment core.
+        stats = self._long_genome_stats()
+        assert ZCU104.transfer_seconds(stats) >= ZCU104.compute_seconds(stats)
+
+    def test_gap_scheme_does_not_change_cycles(self):
+        q = np.zeros(64, dtype=np.uint8)
+        s = np.zeros(200, dtype=np.uint8)
+        lin = SystolicAligner(SCHEMES["global-linear"], k_pe=32)
+        aff = SystolicAligner(SCHEMES["global-affine"], k_pe=32)
+        lin.score(q, s)
+        aff.score(q, s)
+        assert lin.stats.cycles == aff.stats.cycles  # paper §V FPGA note
+
+    def test_joules(self):
+        stats = self._long_genome_stats()
+        assert ZCU104.joules(stats) == pytest.approx(
+            ZCU104.seconds(stats) * 6.181
+        )
+
+    def test_custom_model(self):
+        fast = FpgaModel("big", 512, 300e6, 20.0, 1e12)
+        stats = self._long_genome_stats()
+        assert fast.gcups(stats) > ZCU104.gcups(stats)

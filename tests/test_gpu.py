@@ -1,0 +1,186 @@
+"""Tests for the simulated GPU backend (repro.gpu)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.gpu import (
+    TITAN_V,
+    GlobalMemory,
+    GpuAligner,
+    MatrixViewCoal,
+    PerfCounters,
+    SharedMemory,
+    coalesced_transactions,
+    relax_tile_striped,
+)
+from repro.cpu.tiles import initial_borders, relax_tile
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+SUB = simple_subst_scoring(2, -1)
+SCHEMES = {
+    "global-linear": global_scheme(linear_gap_scoring(SUB, -1)),
+    "global-affine": global_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "local-linear": local_scheme(linear_gap_scoring(SUB, -1)),
+    "local-affine": local_scheme(affine_gap_scoring(SUB, -2, -1)),
+    "semiglobal-linear": semiglobal_scheme(linear_gap_scoring(SUB, -1)),
+    "semiglobal-affine": semiglobal_scheme(affine_gap_scoring(SUB, -2, -1)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestGpuFunctional:
+    def test_matches_reference(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for _ in range(6):
+            n, m = rng.integers(2, 130, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            assert GpuAligner(scheme, tile=(32, 48)).score(q, s) == score_reference(
+                q, s, scheme
+            )
+
+    def test_striped_tile_equals_rowsweep_tile(self, name):
+        # The GPU anti-diagonal dataflow must produce identical borders to
+        # the CPU row-sweep tile kernel.
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(5)
+        q = rng.integers(0, 4, 40).astype(np.uint8)
+        s = rng.integers(0, 4, 55).astype(np.uint8)
+        borders = initial_borders(scheme, 40, 55, 1, 1)
+        cpu = relax_tile(q, s, scheme, borders)
+        borders2 = initial_borders(scheme, 40, 55, 1, 1)
+        gpu = relax_tile_striped(q, s, scheme, borders2, stripe_height=16)
+        np.testing.assert_array_equal(cpu.bottom_h, gpu.bottom_h)
+        np.testing.assert_array_equal(cpu.right_h, gpu.right_h)
+        assert int(cpu.best) == int(gpu.best)
+
+
+class TestGpuDataflow:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        q=st.text(alphabet="ACGT", min_size=2, max_size=80),
+        s=st.text(alphabet="ACGT", min_size=2, max_size=80),
+        stripe=st.sampled_from([4, 16, 64]),
+    )
+    def test_stripe_height_invariance(self, q, s, stripe):
+        scheme = SCHEMES["global-affine"]
+        borders = initial_borders(scheme, len(q), len(s), 1, 1)
+        res = relax_tile_striped(
+            encode(q), encode(s), scheme, borders, stripe_height=stripe
+        )
+        assert int(res.bottom_h[-1]) == score_reference(encode(q), encode(s), scheme)
+
+    def test_counters_accumulate(self):
+        scheme = SCHEMES["global-linear"]
+        c = PerfCounters()
+        borders = initial_borders(scheme, 64, 64, 1, 1)
+        relax_tile_striped(
+            encode("ACGT" * 16), encode("ACGT" * 16), scheme, borders, 16, c
+        )
+        assert c.cells == 64 * 64
+        assert c.stripes == 4
+        # 4 stripes of (16 + 64 - 1) steps each
+        assert c.diag_steps == 4 * 79
+        assert c.global_reads > 0 and c.global_writes > 0
+
+    def test_launch_per_diagonal(self):
+        scheme = SCHEMES["global-linear"]
+        ga = GpuAligner(scheme, tile=(32, 32))
+        q = np.zeros(96, dtype=np.uint8)  # 3x3 tiles -> 5 diagonals
+        ga.score(q, q)
+        assert ga.counters.kernel_launches == 5
+        assert ga.counters.cells == 96 * 96
+
+
+class TestDeviceModel:
+    def test_long_genome_calibration(self):
+        ga = GpuAligner(SCHEMES["global-linear"])
+        g = ga.model_gcups_at(4_411_532, 4_641_652)
+        assert 170 < g < 200  # paper anchor ~189
+
+    def test_affine_slower(self):
+        lin = GpuAligner(SCHEMES["global-linear"]).model_gcups_at(1_000_000, 1_000_000)
+        aff = GpuAligner(SCHEMES["global-affine"]).model_gcups_at(1_000_000, 1_000_000)
+        assert aff < lin
+
+    def test_read_batch_calibration(self):
+        g = GpuAligner(SCHEMES["global-linear"]).model_gcups_batch(12_500_000, 150, 166)
+        assert 210 < g < 260  # paper anchor ~241
+
+    def test_small_problem_underutilizes(self):
+        ga = GpuAligner(SCHEMES["global-linear"])
+        small = ga.model_gcups_at(2_000, 2_000)
+        big = ga.model_gcups_at(2_000_000, 2_000_000)
+        assert small < big / 3
+
+    def test_model_seconds_tracked(self):
+        ga = GpuAligner(SCHEMES["global-linear"], tile=(64, 64))
+        q = np.zeros(256, dtype=np.uint8)
+        ga.score(q, q)
+        assert ga.model_seconds > 0
+        assert ga.model_gcups > 0
+
+
+class TestMemorySpaces:
+    def test_coalesced_transactions(self):
+        assert coalesced_transactions(32) == 1
+        assert coalesced_transactions(33) == 2
+        assert coalesced_transactions(32, coalesced=False) == 32
+
+    def test_global_memory_counting(self):
+        c = PerfCounters()
+        mem = GlobalMemory(c)
+        mem.alloc("a", (64,))
+        mem.read("a")
+        assert c.global_reads == 2  # 64 lanes / 32-warp
+        mem.write("a", slice(0, 32), 1)
+        assert c.global_writes == 1
+        mem.read("a", slice(0, 64), coalesced=False)
+        assert c.global_reads == 2 + 64
+
+    def test_global_double_alloc(self):
+        mem = GlobalMemory(PerfCounters())
+        mem.alloc("a", (4,))
+        with pytest.raises(ValidationError):
+            mem.alloc("a", (4,))
+        mem.free("a")
+        mem.alloc("a", (4,))
+
+    def test_shared_budget_enforced(self):
+        sm = SharedMemory(PerfCounters(), budget_bytes=1024)
+        sm.alloc("ok", (100,), dtype=np.int64)
+        with pytest.raises(ValidationError, match="budget"):
+            sm.alloc("too-big", (100,), dtype=np.int64)
+
+    def test_shared_access_counting(self):
+        c = PerfCounters()
+        sm = SharedMemory(c)
+        sm.alloc("row", (128,))
+        sm.read("row")
+        sm.write("row", slice(0, 10), 7)
+        assert c.shared_reads == 128 and c.shared_writes == 10
+
+    def test_coalesced_matrix_view_roundtrip(self):
+        c = PerfCounters()
+        mem = GlobalMemory(c)
+        view = MatrixViewCoal(mem, "M", height=8, width=16)
+        i = np.arange(4)
+        j = np.arange(4)
+        view.write(i, j, np.array([1, 2, 3, 4]))
+        np.testing.assert_array_equal(view.read(i, j), [1, 2, 3, 4])
+
+    def test_titan_v_spec(self):
+        assert TITAN_V.sms == 80 and TITAN_V.watts == 250.0

@@ -1,0 +1,133 @@
+"""Cross-module integration tests: workloads → backends → results."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NvbioLikeAligner,
+    ParasailLikeAligner,
+    SeqAnLikeAligner,
+    SswLikeAligner,
+)
+from repro.core import Aligner, align_linear_space, rescore_alignment
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.cpu import AVX2, SimdBatchAligner, WavefrontAligner
+from repro.fpga import SystolicAligner
+from repro.gpu import GpuAligner
+from repro.workloads import (
+    FastaRecord,
+    read_fasta,
+    read_pairs,
+    related_pair,
+    simulate_reads,
+    table1_pair,
+    write_fasta,
+)
+
+SUB = simple_subst_scoring(2, -1)
+
+
+class TestAllBackendsAgree:
+    """The paper's whole point: one scheme, many mappings, one answer."""
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            global_scheme(linear_gap_scoring(SUB, -1)),
+            global_scheme(affine_gap_scoring(SUB, -2, -1)),
+            semiglobal_scheme(affine_gap_scoring(SUB, -2, -1)),
+        ],
+        ids=["global-linear", "global-affine", "semiglobal-affine"],
+    )
+    def test_genome_pair_all_backends(self, scheme):
+        pair = related_pair(400, divergence=0.12, seed=77)
+        scores = {
+            "rowscan": Aligner(scheme).score(pair.query, pair.subject),
+            "scalar": Aligner(scheme, backend="scalar").score(pair.query, pair.subject),
+            "wavefront": WavefrontAligner(scheme, tile=(64, 96)).score(
+                pair.query, pair.subject
+            ),
+            "gpu": GpuAligner(scheme, tile=(64, 64)).score(pair.query, pair.subject),
+            "fpga": SystolicAligner(scheme, k_pe=64).score(pair.query, pair.subject),
+            "seqan": SeqAnLikeAligner(scheme, tile=(64, 96)).score(
+                pair.query, pair.subject
+            ),
+            "parasail": ParasailLikeAligner(scheme, tile=(64, 96)).score(
+                pair.query, pair.subject
+            ),
+            "nvbio": NvbioLikeAligner(scheme, tile=(64, 64)).score(
+                pair.query, pair.subject
+            ),
+        }
+        assert len(set(scores.values())) == 1, scores
+
+    def test_local_backends_including_ssw(self):
+        scheme = local_scheme(affine_gap_scoring(SUB, -2, -1))
+        pair = related_pair(300, divergence=0.2, seed=78)
+        a = Aligner(scheme).score(pair.query, pair.subject)
+        b = SswLikeAligner(scheme, lanes=16).score(pair.query, pair.subject)
+        c = GpuAligner(scheme, tile=(48, 48)).score(pair.query, pair.subject)
+        assert a == b == c
+
+
+class TestReadMappingPipeline:
+    def test_end_to_end_mapping(self):
+        scheme = semiglobal_scheme(linear_gap_scoring(SUB, -1))
+        rs = read_pairs(64, read_length=80, reference_length=20_000, seed=41)
+        scores = SimdBatchAligner(scheme, AVX2).score_batch(rs.reads, rs.windows)
+        # Every read must align with a sane score, and tracebacks must
+        # rescore to the batch scores exactly.
+        assert (scores > 2 * 80 * 0.7).all()
+        for k in range(0, 64, 16):
+            res = align_linear_space(rs.reads[k], rs.windows[k], scheme)
+            assert res.score == scores[k]
+            assert (
+                rescore_alignment(res.query_aligned, res.subject_aligned, scheme.scoring)
+                == res.score
+            )
+
+    def test_error_free_reads_score_perfect(self):
+        from repro.workloads import IlluminaProfile, random_genome
+
+        scheme = semiglobal_scheme(linear_gap_scoring(SUB, -1))
+        ref = random_genome(10_000, seed=42)
+        rs = simulate_reads(ref, 16, read_length=100, profile=IlluminaProfile(0, 0, 0, 0), seed=43)
+        scores = SimdBatchAligner(scheme, AVX2).score_batch(rs.reads, rs.windows)
+        assert (scores == 200).all()
+
+
+class TestFastaRoundtripAlignment:
+    def test_fasta_to_alignment(self, tmp_path):
+        pair = table1_pair("bacteria", scale=20_000, seed=44)
+        path = tmp_path / "pair.fa"
+        write_fasta(
+            [FastaRecord("q", pair.query), FastaRecord("s", pair.subject)], path=path
+        )
+        q, s = read_fasta(path)
+        scheme = global_scheme(linear_gap_scoring(SUB, -1))
+        res = align_linear_space(q.sequence, s.sequence, scheme)
+        assert res.score == Aligner(scheme).score(pair.query, pair.subject)
+
+
+class TestSchedulerKernelConsistency:
+    def test_score_many_vs_individual_backends(self):
+        scheme = global_scheme(affine_gap_scoring(SUB, -2, -1))
+        rng = np.random.default_rng(45)
+        pairs = [
+            (
+                rng.integers(0, 4, int(rng.integers(60, 140))).astype(np.uint8),
+                rng.integers(0, 4, int(rng.integers(60, 140))).astype(np.uint8),
+            )
+            for _ in range(8)
+        ]
+        wa = WavefrontAligner(scheme, tile=(32, 32), lanes=4)
+        batched = wa.score_many(pairs)
+        singles = [Aligner(scheme).score(q, s) for q, s in pairs]
+        assert batched == singles

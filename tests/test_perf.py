@@ -1,0 +1,88 @@
+"""Tests for the performance harness (repro.perf)."""
+
+import pytest
+
+from repro.perf import (
+    DEVICE_POWER,
+    code_sharing,
+    energy_table,
+    format_table,
+    measure_gcups,
+)
+
+
+class TestMeasure:
+    def test_measure_runs_and_reports(self):
+        calls = []
+        m = measure_gcups("test", cells=1_000_000, fn=lambda: calls.append(1), repeats=3)
+        assert len(calls) == 4  # 1 warmup + 3 measured
+        assert m.gcups > 0
+        assert "GCUPS" in m.row()
+
+    def test_median_used(self):
+        import time
+
+        m = measure_gcups("t", 1000, lambda: time.sleep(0.001), repeats=3, warmup=0)
+        assert m.median_seconds >= 0.001
+
+
+class TestEnergy:
+    def test_paper_wattages(self):
+        assert DEVICE_POWER["Intel Xeon Gold 6130"].watts == 125.0
+        assert DEVICE_POWER["Titan V"].watts == 250.0
+        assert DEVICE_POWER["ZCU104"].watts == 6.181
+
+    def test_table2_reproduction(self):
+        # Feeding the paper's GCUPS anchors must give Table II's numbers.
+        rows = energy_table(
+            [
+                ("Intel Xeon Gold 6130", "linear", 128.0),
+                ("Titan V", "linear", 189.25),
+                ("ZCU104", "linear", 19.7),
+            ]
+        )
+        assert rows[0].gcups_per_watt == pytest.approx(1.024, abs=0.01)
+        assert rows[1].gcups_per_watt == pytest.approx(0.757, abs=0.01)
+        assert rows[2].gcups_per_watt == pytest.approx(3.187, abs=0.02)
+
+    def test_fpga_most_efficient(self):
+        rows = energy_table(
+            [
+                ("Intel Xeon Gold 6130", "linear", 128.0),
+                ("Titan V", "linear", 189.25),
+                ("ZCU104", "linear", 19.7),
+            ]
+        )
+        best = max(rows, key=lambda r: r.gcups_per_watt)
+        assert best.device == "ZCU104"  # >3x CPU, >4x GPU (paper §V)
+        assert best.gcups_per_watt > 3 * rows[0].gcups_per_watt
+        assert best.gcups_per_watt > 4 * rows[1].gcups_per_watt
+
+    def test_row_format(self):
+        (row,) = energy_table([("ZCU104", "affine", 19.7)])
+        assert "GCUPS/W" in row.row()
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_code_sharing_breakdown(self):
+        cs = code_sharing()
+        assert cs.total > 1000
+        assert set(cs.lines) == {"gpu", "fpga", "cpu", "shared"}
+        # The architecture claim: the majority of the library is shared
+        # across execution targets (paper: 52% shared, 23% GPU, 14% SIMD,
+        # <11% scalar CPU).
+        assert cs.fraction("shared") > 0.5
+        assert cs.fraction("gpu") < 0.3
+        assert cs.fraction("cpu") < 0.3
+
+    def test_code_sharing_rows(self):
+        cs = code_sharing()
+        rows = cs.rows()
+        assert rows[0][0] == "shared"
+        assert all(len(r) == 3 for r in rows)

@@ -1,0 +1,226 @@
+"""Tests for the reference DP (repro.core.recurrence) against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recurrence import align_reference, dp_matrices, score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    matrix_subst_scoring,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.types import AlignmentType
+from repro.util.encoding import encode
+
+from .helpers import assert_valid_result, brute_force, random_dna_str
+
+SUB = simple_subst_scoring(2, -1)
+LINEAR = linear_gap_scoring(SUB, -1)
+AFFINE = affine_gap_scoring(SUB, -2, -1)
+
+SCHEMES = {
+    "global-linear": global_scheme(LINEAR),
+    "global-affine": global_scheme(AFFINE),
+    "local-linear": local_scheme(LINEAR),
+    "local-affine": local_scheme(AFFINE),
+    "semiglobal-linear": semiglobal_scheme(LINEAR),
+    "semiglobal-affine": semiglobal_scheme(AFFINE),
+}
+
+tiny_dna = st.text(alphabet="ACGT", min_size=1, max_size=5)
+
+
+class TestKnownValues:
+    def test_identical_global(self):
+        q = encode("ACGTACGT")
+        assert score_reference(q, q, SCHEMES["global-linear"]) == 16
+
+    def test_single_mismatch_global(self):
+        q, s = encode("ACGTACGT"), encode("ACGTTCGT")
+        assert score_reference(q, s, SCHEMES["global-linear"]) == 2 * 7 - 1
+
+    def test_single_gap_global_linear(self):
+        q, s = encode("ACGTACGT"), encode("ACGTCGT")
+        assert score_reference(q, s, SCHEMES["global-linear"]) == 2 * 7 - 1
+
+    def test_gap_run_affine_vs_linear(self):
+        # Deleting 3 chars: linear pays 3*-1, affine pays -2-3*-1 = -5.
+        q, s = encode("AAACCCGGG"), encode("AAAGGG")
+        assert score_reference(q, s, SCHEMES["global-linear"]) == 12 - 3
+        assert score_reference(q, s, SCHEMES["global-affine"]) == 12 - 5
+
+    def test_local_ignores_bad_flanks(self):
+        q = encode("TTTTACGTACGTTTTT")
+        s = encode("GGGGACGTACGGGGGG")
+        # Common segment ACGTACG of length 7.
+        assert score_reference(q, s, SCHEMES["local-linear"]) == 14
+
+    def test_local_disjoint_alphabet_is_zero(self):
+        assert score_reference(encode("AAAA"), encode("TTTT"), SCHEMES["local-linear"]) == 0
+
+    def test_semiglobal_free_end_gaps(self):
+        # s is a read inside q: semi-global should not pay for the overhang.
+        q = encode("TTTTACGTACGTTTTT")
+        s = encode("ACGTACGT")
+        assert score_reference(q, s, SCHEMES["semiglobal-linear"]) == 16
+
+    def test_global_pays_end_gaps(self):
+        q = encode("TTTTACGTACGTTTTT")
+        s = encode("ACGTACGT")
+        assert score_reference(q, s, SCHEMES["global-linear"]) < 16
+
+    def test_single_char_pair(self):
+        assert score_reference(encode("A"), encode("A"), SCHEMES["global-linear"]) == 2
+        assert score_reference(encode("A"), encode("C"), SCHEMES["global-linear"]) == -1
+
+    def test_matrix_substitution(self):
+        m = np.full((4, 4), -3)
+        np.fill_diagonal(m, 5)
+        m[0, 2] = m[2, 0] = 1  # transitions A<->G cheaper
+        scheme = global_scheme(linear_gap_scoring(matrix_subst_scoring(m), -2))
+        assert score_reference(encode("AG"), encode("GG"), scheme) == 1 + 5
+
+
+class TestMatrixShape:
+    def test_shapes_and_borders_linear_global(self):
+        mats = dp_matrices(encode("ACG"), encode("ACGT"), SCHEMES["global-linear"])
+        assert mats.H.shape == (4, 5)
+        np.testing.assert_array_equal(mats.H[0, :], [0, -1, -2, -3, -4])
+        np.testing.assert_array_equal(mats.H[:, 0], [0, -1, -2, -3])
+        assert mats.E is None and mats.F is None
+
+    def test_borders_affine_global(self):
+        mats = dp_matrices(encode("ACG"), encode("ACG"), SCHEMES["global-affine"])
+        np.testing.assert_array_equal(mats.H[0, 1:], [-3, -4, -5])
+        np.testing.assert_array_equal(mats.H[1:, 0], [-3, -4, -5])
+
+    def test_borders_local_zero(self):
+        mats = dp_matrices(encode("ACG"), encode("ACG"), SCHEMES["local-linear"])
+        assert mats.H[0, :].max() == 0 and mats.H[:, 0].max() == 0
+
+    def test_best_pos_global_is_corner(self):
+        mats = dp_matrices(encode("ACG"), encode("ACGT"), SCHEMES["global-linear"])
+        assert mats.best_pos == (3, 4)
+
+    def test_best_pos_semiglobal_on_border(self):
+        mats = dp_matrices(encode("ACGTT"), encode("AACGT"), SCHEMES["semiglobal-linear"])
+        i, j = mats.best_pos
+        assert i == 5 or j == 5
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestBruteForce:
+    """Exact agreement with exhaustive path enumeration on tiny inputs."""
+
+    def test_fixed_pairs(self, name):
+        scheme = SCHEMES[name]
+        pairs = [("A", "A"), ("AC", "CA"), ("ACG", "AG"), ("GATT", "GCAT"),
+                 ("AAAA", "TTTT"), ("ACGT", "ACGT"), ("TTAA", "TA")]
+        for q, s in pairs:
+            assert score_reference(encode(q), encode(s), scheme) == brute_force(
+                q, s, scheme
+            ), (q, s, name)
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=tiny_dna, s=tiny_dna)
+    def test_random_pairs(self, name, q, s):
+        scheme = SCHEMES[name]
+        assert score_reference(encode(q), encode(s), scheme) == brute_force(q, s, scheme)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestTraceback:
+    def test_fixed_pairs_valid(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            q = random_dna_str(rng, int(rng.integers(1, 30)))
+            s = random_dna_str(rng, int(rng.integers(1, 30)))
+            res = align_reference(encode(q), encode(s), scheme)
+            assert_valid_result(res, q, s, scheme)
+            assert res.score == score_reference(encode(q), encode(s), scheme)
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=st.text(alphabet="ACGT", min_size=1, max_size=25),
+           s=st.text(alphabet="ACGT", min_size=1, max_size=25))
+    def test_traceback_rescores_property(self, name, q, s):
+        scheme = SCHEMES[name]
+        res = align_reference(encode(q), encode(s), scheme)
+        assert_valid_result(res, q, s, scheme)
+
+
+class TestSymmetryProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(q=st.text(alphabet="ACGT", min_size=1, max_size=20),
+           s=st.text(alphabet="ACGT", min_size=1, max_size=20))
+    def test_swap_symmetry(self, q, s):
+        # Simple scoring is symmetric, so swapping inputs preserves the score.
+        for scheme in SCHEMES.values():
+            assert score_reference(encode(q), encode(s), scheme) == score_reference(
+                encode(s), encode(q), scheme
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(s=st.text(alphabet="ACGT", min_size=1, max_size=30))
+    def test_self_alignment_all_match(self, s):
+        q = encode(s)
+        expected = 2 * len(s)
+        for name in ("global-linear", "local-linear", "semiglobal-linear"):
+            assert score_reference(q, q, SCHEMES[name]) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(q=st.text(alphabet="ACGT", min_size=1, max_size=20),
+           s=st.text(alphabet="ACGT", min_size=1, max_size=20))
+    def test_type_ordering(self, q, s):
+        # local >= semiglobal >= global: each relaxes constraints of the next.
+        for scoring in (LINEAR, AFFINE):
+            g = score_reference(encode(q), encode(s), global_scheme(scoring))
+            sg = score_reference(encode(q), encode(s), semiglobal_scheme(scoring))
+            lo = score_reference(encode(q), encode(s), local_scheme(scoring))
+            assert lo >= sg >= g
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.text(alphabet="ACGT", min_size=1, max_size=15),
+           s=st.text(alphabet="ACGT", min_size=1, max_size=15))
+    def test_affine_zero_open_equals_linear(self, q, s):
+        lin = linear_gap_scoring(SUB, -1)
+        aff = affine_gap_scoring(SUB, 0, -1)
+        for mk in (global_scheme, local_scheme, semiglobal_scheme):
+            assert score_reference(encode(q), encode(s), mk(lin)) == score_reference(
+                encode(q), encode(s), mk(aff)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(s=st.text(alphabet="ACGT", min_size=2, max_size=20),
+           k=st.integers(min_value=1, max_value=5))
+    def test_local_substring(self, s, k):
+        # A substring aligns locally with score 2*len(substring).
+        k = min(k, len(s))
+        sub = s[:k]
+        assert score_reference(
+            encode(sub), encode(s), SCHEMES["local-linear"]
+        ) == 2 * k
+
+
+class TestAlignmentResultApi:
+    def test_cigar_and_identity(self):
+        res = align_reference(
+            encode("ACGTACGT"), encode("ACGACGT"), SCHEMES["global-linear"]
+        )
+        assert res.cigar().count("I") == 1
+        assert "M" in res.cigar()
+        assert 0 < res.identity() <= 1
+
+    def test_pretty_contains_score(self):
+        res = align_reference(encode("ACGT"), encode("ACGT"), SCHEMES["global-linear"])
+        assert "score=8" in res.pretty()
+
+    def test_len(self):
+        res = align_reference(encode("ACGT"), encode("ACGT"), SCHEMES["global-linear"])
+        assert len(res) == 4

@@ -1,0 +1,276 @@
+"""Tests for the staged IR and partial evaluator (repro.stage.ir / peval)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stage import (
+    BinOp,
+    Cmp,
+    Const,
+    DynConst,
+    For,
+    KernelBuilder,
+    Let,
+    Max,
+    Min,
+    Select,
+    Var,
+    as_expr,
+    contains_node,
+    count_nodes,
+    dyn,
+    fold_expr,
+    is_static,
+    select,
+    smax,
+    smin,
+    specialize,
+    static_value,
+)
+from repro.stage.peval import NEG_INF
+from repro.core.types import NEG_INF as CORE_NEG_INF
+from repro.util.checks import StagingError
+
+
+def test_neg_inf_sentinels_agree():
+    assert NEG_INF == CORE_NEG_INF
+
+
+class TestExprConstruction:
+    def test_as_expr_int(self):
+        assert as_expr(5) == Const(5)
+
+    def test_as_expr_bool(self):
+        assert as_expr(True) == Const(True)
+
+    def test_as_expr_passthrough(self):
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_as_expr_rejects_float_str(self):
+        with pytest.raises(TypeError):
+            as_expr("hello")
+
+    def test_operator_overloading(self):
+        x = Var("x")
+        e = (x + 1) * 2 - x
+        assert isinstance(e, BinOp) and e.op == "-"
+
+    def test_radd(self):
+        e = 1 + Var("x")
+        assert e == BinOp("+", Const(1), Var("x"))
+
+    def test_comparison_builds_cmp(self):
+        assert isinstance(Var("x") < 3, Cmp)
+        assert isinstance(Var("x").eq(3), Cmp)
+
+    def test_neg(self):
+        assert fold_expr(-Const(5)) == Const(-5)
+
+
+class TestStaticness:
+    def test_const_is_static(self):
+        assert is_static(Const(3)) and is_static(7) and is_static(True)
+
+    def test_var_is_dynamic(self):
+        assert not is_static(Var("x"))
+
+    def test_dyn_blocks_staticness(self):
+        assert not is_static(dyn(5))
+
+    def test_static_value(self):
+        assert static_value(Const(3)) == 3 and static_value(4) == 4
+        with pytest.raises(ValueError):
+            static_value(Var("x"))
+
+
+class TestFolding:
+    def test_const_arith(self):
+        assert fold_expr(Const(2) + Const(3)) == Const(5)
+        assert fold_expr(Const(7) * Const(6)) == Const(42)
+        assert fold_expr(Const(7) // Const(2)) == Const(3)
+
+    def test_identity_add_zero(self):
+        x = Var("x")
+        assert fold_expr(x + 0) == x
+        assert fold_expr(0 + x) == x
+        assert fold_expr(x - 0) == x
+
+    def test_identity_mul(self):
+        x = Var("x")
+        assert fold_expr(x * 1) == x
+        assert fold_expr(x * 0) == Const(0)
+        assert fold_expr(1 * x) == x
+
+    def test_sub_self(self):
+        assert fold_expr(Var("x") - Var("x")) == Const(0)
+
+    def test_dynconst_not_folded(self):
+        e = dyn(2) + dyn(3)
+        assert fold_expr(e) == e  # stays a BinOp
+
+    def test_cmp_folding(self):
+        assert fold_expr(Const(2) < Const(3)) == Const(True)
+        assert fold_expr(Var("x").eq(Var("x"))) == Const(True)
+
+    def test_select_folding(self):
+        x, y = Var("x"), Var("y")
+        assert select(True, x, y) is x
+        assert select(False, x, y) is y
+        assert fold_expr(Select(Const(True), x, y)) == x
+        assert fold_expr(Select(Var("c"), x, x)) == x
+
+    def test_max_neg_inf_identity(self):
+        # The global-alignment ν=−∞ argument disappears entirely.
+        x = Var("x")
+        assert fold_expr(Max(x, Const(NEG_INF))) == x
+        assert fold_expr(Max(Const(NEG_INF), x)) == x
+        assert fold_expr(Max(x, Const(0))) == Max(x, Const(0))  # local ν stays
+
+    def test_max_min_const(self):
+        assert fold_expr(Max(Const(2), Const(5))) == Const(5)
+        assert fold_expr(Min(Const(2), Const(5))) == Const(2)
+        assert fold_expr(Max(Var("x"), Var("x"))) == Var("x")
+
+    def test_smax_nary(self):
+        assert fold_expr(smax(1, 5, 3)) == Const(5)
+        assert fold_expr(smin(4, 2, 9)) == Const(2)
+
+    def test_nested_fold(self):
+        x = Var("x")
+        e = Max(x + (Const(2) - Const(2)), Const(NEG_INF))
+        assert fold_expr(e) == x
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_fold_matches_python(self, a, b):
+        assert fold_expr(Const(a) + Const(b)) == Const(a + b)
+        assert fold_expr(Max(Const(a), Const(b))) == Const(max(a, b))
+        assert fold_expr(Const(a) < Const(b)) == Const(a < b)
+
+
+class TestBuilder:
+    def test_simple_kernel(self):
+        b = KernelBuilder("k", ["x"])
+        v = b.let(b.var("x") + 1)
+        b.ret(v)
+        fn = b.build()
+        assert fn.params == ["x"]
+        assert len(fn.body) == 2
+
+    def test_let_const_passthrough(self):
+        b = KernelBuilder("k", [])
+        assert b.let(Const(5)) == Const(5)
+        assert b.let(Var("y")) == Var("y")
+
+    def test_loop_scoping(self):
+        b = KernelBuilder("k", ["n"])
+        with b.loop("i", 0, b.var("n")) as i:
+            b.let(i + 1)
+        fn = b.build()
+        assert isinstance(fn.body[0], For)
+
+    def test_unclosed_scope_detected(self):
+        b = KernelBuilder("k", [])
+        cm = b.loop("i", 0, 4)
+        cm.__enter__()
+        with pytest.raises(StagingError, match="unclosed"):
+            b.build()
+
+    def test_else_requires_if(self):
+        b = KernelBuilder("k", [])
+        with pytest.raises(StagingError, match="else_"):
+            with b.else_():
+                pass
+
+    def test_mutable_cells(self):
+        b = KernelBuilder("k", ["n"])
+        acc = b.mutable(0)
+        with b.loop("i", 0, b.var("n")) as i:
+            acc.set(acc.value + i)
+        b.ret(acc.value)
+        fn = b.build()
+        assert fn.body[0].name == acc.name
+
+    def test_build_twice_fails(self):
+        b = KernelBuilder("k", [])
+        b.build()
+        with pytest.raises(StagingError):
+            b.build()
+
+
+class TestSpecialize:
+    def test_dead_let_removed(self):
+        b = KernelBuilder("k", ["x"])
+        b.let(b.var("x") * 99, "dead")
+        b.ret(b.var("x"))
+        fn = specialize(b.build())
+        assert count_nodes(fn) == 2  # just Return(Var)
+
+    def test_const_branch_pruned(self):
+        b = KernelBuilder("k", ["x"])
+        with b.if_(Const(True)):
+            b.ret(b.var("x") + 1)
+        with b.else_():
+            b.ret(b.var("x") - 1)
+        fn = specialize(b.build())
+        from repro.stage.ir import If, Return
+
+        assert not contains_node(fn, If)
+        assert isinstance(fn.body[0], Return)
+
+    def test_zero_trip_loop_dropped(self):
+        b = KernelBuilder("k", ["A"])
+        with b.loop("i", 3, 3) as i:
+            b.store("A", (i,), i)
+        fn = specialize(b.build())
+        assert fn.body == []
+
+    def test_small_const_loop_unrolled(self):
+        b = KernelBuilder("k", ["A"])
+        with b.loop("i", 0, 4) as i:
+            b.store("A", (i,), i * 2)
+        fn = specialize(b.build())
+        assert not contains_node(fn, For)
+        from repro.stage.ir import Store
+
+        stores = [s for s in fn.body if isinstance(s, Store)]
+        assert len(stores) == 4
+        assert stores[3].value == Const(6)
+
+    def test_large_loop_not_unrolled(self):
+        b = KernelBuilder("k", ["A"])
+        with b.loop("i", 0, 1000) as i:
+            b.store("A", (i,), i)
+        fn = specialize(b.build())
+        assert contains_node(fn, For)
+
+    def test_copy_propagation(self):
+        b = KernelBuilder("k", ["x"])
+        c = b.let(as_expr(3), "c")
+        d = b.let(b.var("x") + c)
+        b.ret(d)
+        fn = specialize(b.build())
+        # The 'c' binding is propagated into the add and removed.
+        names = [s.name for s in fn.body if isinstance(s, Let)]
+        assert "c" not in "".join(names)
+
+    def test_mutated_binding_not_propagated(self):
+        b = KernelBuilder("k", ["n"])
+        acc = b.mutable(0)
+        with b.loop("i", 0, b.var("n")) as i:
+            acc.set(acc.value + i)
+        b.ret(acc.value)
+        fn = specialize(b.build())
+        # Accumulator must survive: it is mutated in the loop.
+        assert any(isinstance(s, Let) and s.name == acc.name for s in fn.body)
+
+    def test_nu_neg_inf_elided_nu_zero_kept(self):
+        # The paper's showcase: ν=−∞ (global) leaves no residue, ν=0 (local)
+        # keeps exactly one extra max.
+        def make(nu):
+            b = KernelBuilder("k", ["a", "b"])
+            b.ret(smax(b.var("a"), b.var("b"), Const(nu)))
+            return specialize(b.build())
+
+        assert count_nodes(make(NEG_INF)) < count_nodes(make(0))

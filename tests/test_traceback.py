@@ -1,0 +1,209 @@
+"""Tests for linear-space traceback (repro.core.traceback / blockdp)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blockdp import fill_block, sweep_best, sweep_last_rows
+from repro.core.recurrence import align_reference, dp_matrices, score_reference
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    rescore_alignment,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.traceback import align_block, align_linear_space
+from repro.util.encoding import encode
+
+from .helpers import assert_valid_result, random_dna_str
+
+SUB = simple_subst_scoring(2, -1)
+LINEAR = linear_gap_scoring(SUB, -1)
+AFFINE = affine_gap_scoring(SUB, -2, -1)
+
+SCHEMES = {
+    "global-linear": global_scheme(LINEAR),
+    "global-affine": global_scheme(AFFINE),
+    "local-linear": local_scheme(LINEAR),
+    "local-affine": local_scheme(AFFINE),
+    "semiglobal-linear": semiglobal_scheme(LINEAR),
+    "semiglobal-affine": semiglobal_scheme(AFFINE),
+}
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+
+class TestFillBlock:
+    @pytest.mark.parametrize("scoring", [LINEAR, AFFINE], ids=["linear", "affine"])
+    def test_matches_reference_global(self, scoring):
+        scheme = global_scheme(scoring)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            n, m = rng.integers(1, 30, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            H, E, F = fill_block(q, s, scoring)
+            ref = dp_matrices(q, s, scheme)
+            np.testing.assert_array_equal(H, ref.H)
+            if scoring.is_affine:
+                np.testing.assert_array_equal(E, ref.E)
+                # F is stored in scan form: scores agree where F wins into H.
+
+    def test_top_open_discount(self):
+        # With a pre-opened vertical gap, an initial deletion costs only
+        # the extension.
+        q, s = encode("AA"), encode("A")
+        H, E, F = fill_block(q, s, AFFINE.gaps and AFFINE, top_open=True)
+        # H(1,0) = ge (not go+ge)
+        assert H[1, 0] == -1
+        H2, *_ = fill_block(q, s, AFFINE, top_open=False)
+        assert H2[1, 0] == -3
+
+    def test_top_open_linear_rejected(self):
+        with pytest.raises(ValueError):
+            fill_block(encode("A"), encode("A"), LINEAR, top_open=True)
+
+
+class TestSweeps:
+    def test_last_row_equals_matrix_row(self):
+        rng = np.random.default_rng(5)
+        for scoring in (LINEAR, AFFINE):
+            n, m = 25, 31
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            H_last, E_last = sweep_last_rows(q, s, scoring)
+            H, E, _F = fill_block(q, s, scoring)
+            np.testing.assert_array_equal(H_last, H[n])
+            if scoring.is_affine:
+                np.testing.assert_array_equal(E_last, E[n])
+
+    @pytest.mark.parametrize("name", ["local-linear", "local-affine"])
+    def test_sweep_best_finds_local_optimum(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            n, m = rng.integers(1, 40, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            best, (i, j) = sweep_best(q, s, scheme, zero_init=True, track="all")
+            ref = dp_matrices(q, s, scheme)
+            assert best == ref.best_score
+            assert ref.H[i, j] == best  # position attains the optimum
+
+    @pytest.mark.parametrize("name", ["semiglobal-linear", "semiglobal-affine"])
+    def test_sweep_best_semiglobal_border(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            n, m = rng.integers(1, 40, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            best, (i, j) = sweep_best(q, s, scheme, zero_init=True, track="border")
+            ref = dp_matrices(q, s, scheme)
+            assert best == ref.best_score
+            assert i == n or j == m
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestAlignLinearSpace:
+    def test_score_and_rescore(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for _ in range(15):
+            q = random_dna_str(rng, int(rng.integers(1, 80)))
+            s = random_dna_str(rng, int(rng.integers(1, 80)))
+            res = align_linear_space(encode(q), encode(s), scheme, cutoff=64)
+            assert res.score == score_reference(encode(q), encode(s), scheme)
+            assert_valid_result(res, q, s, scheme)
+
+    def test_matches_block_mode(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(4242)
+        q = random_dna_str(rng, 70)
+        s = random_dna_str(rng, 65)
+        deep = align_linear_space(encode(q), encode(s), scheme, cutoff=16)
+        block = align_block(encode(q), encode(s), scheme)
+        assert deep.score == block.score
+        # Both must rescore to the same optimum (strings may differ on ties).
+        assert rescore_alignment(deep.query_aligned, deep.subject_aligned, scheme.scoring) == rescore_alignment(
+            block.query_aligned, block.subject_aligned, scheme.scoring
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=dna, s=dna, cutoff=st.sampled_from([8, 32, 256]))
+    def test_property_any_cutoff(self, name, q, s, cutoff):
+        scheme = SCHEMES[name]
+        res = align_linear_space(encode(q), encode(s), scheme, cutoff=cutoff)
+        assert res.score == score_reference(encode(q), encode(s), scheme)
+        assert_valid_result(res, q, s, scheme)
+
+
+class TestAffineGapRuns:
+    def test_long_gap_crossing_midline(self):
+        # A 30-char deletion spanning the Hirschberg split must be charged
+        # one gap-open, not two (Myers–Miller E-join).
+        scheme = SCHEMES["global-affine"]
+        core = "ACGTACGTACGTACGTACGTACGTACGTA"
+        q = encode(core[:14] + "G" * 30 + core[14:])
+        s = encode(core)
+        res = align_linear_space(q, s, scheme, cutoff=8)
+        assert res.score == score_reference(q, s, scheme)
+        assert "-" * 30 in res.subject_aligned
+        assert rescore_alignment(res.query_aligned, res.subject_aligned, scheme.scoring) == res.score
+
+    def test_adversarial_gap_positions(self):
+        scheme = SCHEMES["global-affine"]
+        rng = np.random.default_rng(77)
+        for _ in range(10):
+            base = random_dna_str(rng, 60)
+            cut = int(rng.integers(5, 55))
+            gap_len = int(rng.integers(5, 25))
+            ins = random_dna_str(rng, gap_len)
+            q = encode(base[:cut] + ins + base[cut:])
+            s = encode(base)
+            res = align_linear_space(q, s, scheme, cutoff=8)
+            assert res.score == score_reference(q, s, scheme)
+
+
+class TestLocalEdgeCases:
+    def test_no_positive_alignment_is_empty(self):
+        res = align_linear_space(encode("AAAA"), encode("TTTT"), SCHEMES["local-linear"])
+        assert res.score == 0
+        assert res.query_aligned == "" and res.subject_aligned == ""
+
+    def test_local_segment_bounds(self):
+        q = "TTTT" + "ACGTACGT" + "TTTT"
+        s = "GGGG" + "ACGTACGT" + "GGGG"
+        res = align_linear_space(encode(q), encode(s), SCHEMES["local-linear"])
+        assert res.score == 16
+        assert q[res.query_start : res.query_end] == "ACGTACGT"
+        assert s[res.subject_start : res.subject_end] == "ACGTACGT"
+
+    def test_semiglobal_read_in_reference(self):
+        ref = "TTTTACGTACGTTTTT"
+        read = "ACGTACGT"
+        res = align_linear_space(encode(read), encode(ref), SCHEMES["semiglobal-linear"])
+        assert res.score == 16
+        assert res.query_start == 0 and res.query_end == len(read)
+        assert ref[res.subject_start : res.subject_end] == read
+
+
+class TestLargerInputs:
+    @pytest.mark.parametrize("name", ["global-linear", "global-affine"])
+    def test_medium_global(self, name):
+        scheme = SCHEMES[name]
+        rng = np.random.default_rng(123)
+        base = rng.integers(0, 4, 400).astype(np.uint8)
+        q = base.copy()
+        # mutate ~5%
+        pos = rng.choice(400, 20, replace=False)
+        q[pos] = (q[pos] + 1 + rng.integers(0, 3, 20)) % 4
+        res = align_linear_space(q, base, scheme, cutoff=256)
+        assert rescore_alignment(res.query_aligned, res.subject_aligned, scheme.scoring) == res.score
+        from repro.core.kernels import score_rowscan
+
+        assert res.score == score_rowscan(q, base, scheme)

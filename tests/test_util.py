@@ -1,0 +1,131 @@
+"""Tests for repro.util (encoding, rng, checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    ALPHABET,
+    ValidationError,
+    check_in,
+    check_positive,
+    check_sequence,
+    decode,
+    encode,
+    make_rng,
+    pack_2bit,
+    reverse_complement,
+    spawn_rngs,
+    unpack_2bit,
+)
+
+dna_text = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        assert decode(encode("ACGT")) == "ACGT"
+
+    def test_lowercase_accepted(self):
+        assert decode(encode("acgt")) == "ACGT"
+
+    def test_bytes_accepted(self):
+        assert decode(encode(b"GATTACA")) == "GATTACA"
+
+    def test_code_array_passthrough(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        out = encode(codes)
+        assert out is codes
+
+    def test_invalid_char_rejected(self):
+        with pytest.raises(ValueError, match="invalid DNA"):
+            encode("ACGN")
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(ValueError):
+            encode(np.array([0, 9], dtype=np.uint8))
+
+    @given(dna_text)
+    def test_roundtrip_property(self, s):
+        assert decode(encode(s)) == s
+
+    def test_alphabet_order(self):
+        assert ALPHABET == "ACGT"
+        assert list(encode("ACGT")) == [0, 1, 2, 3]
+
+
+class TestReverseComplement:
+    def test_simple(self):
+        assert decode(reverse_complement(encode("AACG"))) == "CGTT"
+
+    @given(dna_text.filter(lambda s: len(s) > 0))
+    def test_involution(self, s):
+        codes = encode(s)
+        assert decode(reverse_complement(reverse_complement(codes))) == s
+
+
+class TestPack2Bit:
+    @given(dna_text)
+    def test_roundtrip(self, s):
+        codes = encode(s)
+        packed, n = pack_2bit(codes)
+        assert n == len(s)
+        assert packed.size == (n + 3) // 4
+        np.testing.assert_array_equal(unpack_2bit(packed, n), codes)
+
+    def test_packing_density(self):
+        packed, _ = pack_2bit(encode("ACGTACGT"))
+        assert packed.size == 2
+
+
+class TestRng:
+    def test_default_deterministic(self):
+        a = make_rng().integers(0, 1000, 10)
+        b = make_rng().integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+    def test_spawn_independent(self):
+        r1, r2 = spawn_rngs(42, 2)
+        assert not np.array_equal(r1.integers(0, 1000, 20), r2.integers(0, 1000, 20))
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(42, 3)[2].integers(0, 1000, 5)
+        b = spawn_rngs(42, 3)[2].integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestChecks:
+    def test_check_sequence_ok(self):
+        seq = encode("ACGT")
+        assert check_sequence(seq) is seq
+
+    def test_check_sequence_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_sequence(np.array([], dtype=np.uint8))
+
+    def test_check_sequence_2d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_sequence(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_check_sequence_bad_dtype(self):
+        with pytest.raises(ValidationError, match="uint8"):
+            check_sequence(np.array([0, 1], dtype=np.int64))
+
+    def test_check_sequence_bad_codes(self):
+        with pytest.raises(ValidationError, match="0..3"):
+            check_sequence(np.array([0, 7], dtype=np.uint8))
+
+    def test_check_positive(self):
+        assert check_positive(3, "x") == 3
+        with pytest.raises(ValidationError):
+            check_positive(0, "x")
+
+    def test_check_in(self):
+        assert check_in("a", {"a", "b"}, "x") == "a"
+        with pytest.raises(ValidationError):
+            check_in("c", {"a", "b"}, "x")

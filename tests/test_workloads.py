@@ -1,0 +1,242 @@
+"""Tests for workload generation (repro.workloads)."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import align_score
+from repro.core.scoring import (
+    global_scheme,
+    linear_gap_scoring,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import decode
+from repro.workloads import (
+    FastaRecord,
+    IlluminaProfile,
+    MutationModel,
+    TABLE1_PAIRS,
+    TABLE1_SEQUENCES,
+    mutate,
+    random_genome,
+    read_fasta,
+    read_fastq,
+    read_pairs,
+    related_pair,
+    simulate_reads,
+    table1_descriptions,
+    table1_pair,
+    write_fasta,
+    write_fastq,
+)
+
+
+class TestRandomGenome:
+    def test_length_and_codes(self):
+        g = random_genome(5000, seed=1)
+        assert g.size == 5000 and g.dtype == np.uint8 and g.max() <= 3
+
+    def test_gc_content_controlled(self):
+        g = random_genome(200_000, gc_content=0.6, seed=2)
+        gc = np.isin(g, (1, 2)).mean()
+        assert abs(gc - 0.6) < 0.01
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(random_genome(100, seed=7), random_genome(100, seed=7))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            random_genome(0)
+        with pytest.raises(ValidationError):
+            random_genome(10, gc_content=1.5)
+
+
+class TestMutate:
+    def test_no_mutation_identity(self):
+        g = random_genome(1000, seed=3)
+        out = mutate(g, MutationModel(0, 0, 0), seed=4)
+        np.testing.assert_array_equal(out, g)
+
+    def test_substitution_rate(self):
+        g = random_genome(100_000, seed=5)
+        out = mutate(g, MutationModel(0.1, 0, 0), seed=6)
+        assert out.size == g.size
+        frac = (out != g).mean()
+        assert 0.08 < frac < 0.12
+
+    def test_substitutions_change_base(self):
+        g = random_genome(10_000, seed=8)
+        out = mutate(g, MutationModel(1.0, 0, 0), seed=9)
+        assert (out != g).all()
+
+    def test_indels_change_length(self):
+        g = random_genome(10_000, seed=10)
+        out = mutate(g, MutationModel(0, 0.01, 0), seed=11)
+        assert out.size > g.size
+        out2 = mutate(g, MutationModel(0, 0, 0.01), seed=12)
+        assert out2.size < g.size
+
+    def test_rate_validation(self):
+        with pytest.raises(ValidationError):
+            MutationModel(substitution=1.5)
+        with pytest.raises(ValidationError):
+            MutationModel(indel_mean=0.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sub=st.floats(0, 0.3), seed=st.integers(0, 10_000))
+    def test_output_is_valid_dna(self, sub, seed):
+        g = random_genome(500, seed=seed)
+        out = mutate(g, MutationModel(sub, 0.01, 0.01), seed=seed + 1)
+        assert out.dtype == np.uint8 and (out <= 3).all()
+
+
+class TestRelatedPair:
+    def test_divergence_reflected_in_alignment(self):
+        scheme = global_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        close = related_pair(800, divergence=0.02, seed=13)
+        far = related_pair(800, divergence=0.4, seed=13)
+        assert align_score(close.query, close.subject, scheme) > align_score(
+            far.query, far.subject, scheme
+        )
+
+    def test_zero_divergence_identical(self):
+        pair = related_pair(500, divergence=0.0, seed=14)
+        np.testing.assert_array_equal(pair.query, pair.subject)
+
+    def test_cells(self):
+        pair = related_pair(300, divergence=0.1, seed=15)
+        assert pair.cells == pair.query.size * pair.subject.size
+
+
+class TestReads:
+    def test_shapes(self):
+        rs = read_pairs(20, read_length=100, reference_length=10_000, seed=16)
+        assert rs.reads.shape == (20, 100)
+        assert rs.windows.shape == (20, 100 + 2 * rs.padding)
+        assert len(rs) == 20
+
+    def test_reads_align_to_windows(self):
+        # Semi-global alignment of read vs window must recover ~perfect
+        # scores (reads carry only sequencing errors).
+        scheme = semiglobal_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        rs = read_pairs(10, read_length=80, reference_length=20_000, seed=17)
+        for k in range(10):
+            score = align_score(rs.reads[k], rs.windows[k], scheme)
+            assert score >= 2 * 80 * 0.9  # few errors only
+
+    def test_error_free_profile_exact(self):
+        profile = IlluminaProfile(0, 0, 0, 0)
+        ref = random_genome(5000, seed=18)
+        rs = simulate_reads(ref, 5, read_length=50, profile=profile, seed=19)
+        for k in range(5):
+            pos = int(rs.positions[k])
+            np.testing.assert_array_equal(rs.reads[k], ref[pos : pos + 50])
+
+    def test_error_rate_ramp(self):
+        profile = IlluminaProfile(sub_start=0.0, sub_end=0.3)
+        ref = random_genome(50_000, seed=20)
+        rs = simulate_reads(ref, 400, read_length=100, profile=profile, seed=21)
+        diffs = np.zeros(100)
+        for k in range(len(rs)):
+            pos = int(rs.positions[k])
+            diffs += rs.reads[k] != ref[pos : pos + 100]
+        # 3' end must accumulate clearly more errors than the 5' end.
+        assert diffs[80:].sum() > 3 * diffs[:20].sum()
+
+    def test_reference_too_short(self):
+        with pytest.raises(ValidationError):
+            simulate_reads(random_genome(50, seed=1), 1, read_length=100)
+
+    def test_deterministic(self):
+        a = read_pairs(5, read_length=60, reference_length=5000, seed=22)
+        b = read_pairs(5, read_length=60, reference_length=5000, seed=22)
+        np.testing.assert_array_equal(a.reads, b.reads)
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        recs = [
+            FastaRecord("seq1", random_genome(100, seed=23), "first"),
+            FastaRecord("seq2", random_genome(35, seed=24)),
+        ]
+        text = write_fasta(recs)
+        back = read_fasta(text)
+        assert [r.name for r in back] == ["seq1", "seq2"]
+        assert back[0].description == "first"
+        np.testing.assert_array_equal(back[0].sequence, recs[0].sequence)
+
+    def test_multiline_wrapping(self):
+        rec = FastaRecord("x", random_genome(200, seed=25))
+        text = write_fasta([rec], width=50)
+        assert max(len(ln) for ln in text.splitlines()) <= 50
+        np.testing.assert_array_equal(read_fasta(text)[0].sequence, rec.sequence)
+
+    def test_file_object(self):
+        rec = FastaRecord("x", random_genome(10, seed=26))
+        back = read_fasta(io.StringIO(write_fasta([rec])))
+        assert back[0].name == "x"
+
+    def test_path_roundtrip(self, tmp_path):
+        rec = FastaRecord("x", random_genome(40, seed=27))
+        p = tmp_path / "test.fa"
+        write_fasta([rec], path=p)
+        np.testing.assert_array_equal(read_fasta(str(p))[0].sequence, rec.sequence)
+
+    def test_invalid_char(self):
+        with pytest.raises(ValidationError):
+            read_fasta(">x\nACGN\n")
+
+    def test_skip_invalid_masks(self):
+        rec = read_fasta(">x\nACGN\n", skip_invalid=True)[0]
+        assert rec.text() == "ACGA"
+
+    def test_no_records(self):
+        with pytest.raises(ValidationError):
+            read_fasta("just text\n")
+
+    def test_fastq_roundtrip(self):
+        recs = [FastaRecord("r1", random_genome(30, seed=28), quality="I" * 30)]
+        text = write_fastq(recs)
+        back = read_fastq(text)
+        assert back[0].quality == "I" * 30
+        np.testing.assert_array_equal(back[0].sequence, recs[0].sequence)
+
+    def test_fastq_malformed(self):
+        with pytest.raises(ValidationError):
+            read_fastq("@x\nACGT\n+\nII\n")  # quality too short
+        with pytest.raises(ValidationError):
+            read_fastq("@x\nACGT\n+\n")
+
+
+class TestTable1:
+    def test_registry_matches_paper(self):
+        assert len(TABLE1_SEQUENCES) == 6
+        assert TABLE1_SEQUENCES[0].accession == "NC_000962.3"
+        assert TABLE1_SEQUENCES[5].length == 50_073_674
+        assert len(TABLE1_PAIRS) == 3
+
+    def test_scaled_pair_lengths(self):
+        pair = table1_pair("bacteria", scale=1000, seed=29)
+        assert pair.query.size == 4_411_532 // 1000
+        assert pair.subject.size == 4_641_652 // 1000
+        assert pair.meta["accessions"] == ("NC_000962.3", "NC_000913.3")
+
+    def test_unknown_pair(self):
+        with pytest.raises(ValidationError):
+            table1_pair("nope")
+
+    def test_descriptions(self):
+        desc = table1_descriptions()
+        assert len(desc) == 6 and "tuberculosis" in desc[0]
+
+    def test_pairs_alignable(self):
+        scheme = global_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        pair = table1_pair("bacteria", scale=10_000, seed=30)
+        score = align_score(pair.query, pair.subject, scheme)
+        # Related genomes score clearly above random expectation.
+        assert score > 0
