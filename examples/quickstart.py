@@ -30,9 +30,20 @@ print("local affine segment:", res.query_aligned, "/", res.subject_aligned)
 print("segment spans: query", (res.query_start, res.query_end),
       "subject", (res.subject_start, res.subject_end))
 
-# --- 4. Batches use SIMD lanes automatically --------------------------------
-from repro.core import align_batch_scores  # noqa: E402
+# --- 4. Batches route through the execution engine --------------------------
+#     Shape-bucketed lane batching + plan caching + a worker pool; `auto`
+#     picks a backend per batch from the registered capability matrix.
+from repro.engine import ExecutionEngine  # noqa: E402
 
+engine = ExecutionEngine()  # backend="auto", default scheme
 queries = ["ACGTACGTACGTACG", "TTGACCAGTTGACCA", "GGGTTTAAACCCGGG"]
 subjects = ["ACGTACCTACGTACG", "TTGACCAGTTGACCA", "GGGTTTTAACCCGGG"]
-print("batch scores:", list(align_batch_scores(queries, subjects)))
+print("batch scores:", list(engine.submit_batch(queries, subjects)))
+
+# --- 5. Any registered backend through one frontend --------------------------
+from repro.core import Aligner, available_backends  # noqa: E402
+
+print("backends:", ", ".join(sorted(available_backends())))
+print("tiled CPU wavefront:", Aligner(backend="tiled").score(*2 * ["ACGTACGTTACT"]))
+print("simulated FPGA:     ", Aligner(backend="fpga").score(*2 * ["ACGTACGTTACT"]))
+print(engine.report())

@@ -20,10 +20,20 @@ BASELINES: dict = {}
 
 
 def register_baseline(name: str):
+    """Register a comparator in :data:`BASELINES` *and* the backend registry.
+
+    Baselines are addressable through the unified frontend
+    (``Aligner(backend="parasail")``, ``engine.submit_batch(...,
+    backend="ssw")``) so parity tests and benchmarks drive every strategy
+    through one entry point; ``auto`` never selects them (their
+    capabilities are marked ``comparator``).
+    """
+    from repro.core.aligner import register_backend
+
     def wrap(cls):
         BASELINES[name] = cls
         cls.baseline_name = name
-        return cls
+        return register_backend(name)(cls)
 
     return wrap
 

@@ -43,6 +43,13 @@ class NvbioLikeAligner(GpuAligner):
     ):
         super().__init__(scheme, tile=tile, device=device)
 
+    @classmethod
+    def capabilities(cls):
+        from dataclasses import replace
+
+        caps = super().capabilities()
+        return replace(caps, name="nvbio", comparator=True)
+
     def _block_seconds_for(self, rows: int, cols: int) -> float:
         """Per-block time with divergence on partial diagonals."""
         dev = self.device

@@ -60,6 +60,13 @@ class ParasailLikeAligner(WavefrontAligner):
         )
         self.simd_width = simd_width
 
+    @classmethod
+    def capabilities(cls):
+        from dataclasses import replace
+
+        caps = super().capabilities()
+        return replace(caps, name="parasail", comparator=True, base_rank=0)
+
     def score(self, query, subject) -> int:
         q = check_sequence(encode(query), "query")
         s = check_sequence(encode(subject), "subject")

@@ -34,6 +34,13 @@ class SeqAnLikeAligner(WavefrontAligner):
         super().__init__(scheme, tile=tile, lanes=1, threads=threads, scheduler="dynamic")
         self.simd_width = simd_width
 
+    @classmethod
+    def capabilities(cls):
+        from dataclasses import replace
+
+        caps = super().capabilities()
+        return replace(caps, name="seqan", comparator=True, base_rank=0)
+
     def _relax_one(self, run, tile, lock):
         th, tw = self.tile
         qt = run.q[tile.ti * th : tile.ti * th + tile.rows]

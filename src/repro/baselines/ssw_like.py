@@ -43,6 +43,18 @@ class SswLikeAligner:
             self.go, self.ge = 0, gaps.gap
         self.lazy_f_passes = 0  # instrumentation: fixpoint iterations
 
+    @classmethod
+    def capabilities(cls):
+        from repro.core.backend import BackendCapabilities
+
+        return BackendCapabilities(
+            name="ssw",
+            kind="cpu",
+            alignment_types=frozenset({AlignmentType.LOCAL}),
+            lane_batching=False,
+            comparator=True,
+        )
+
     def score(self, query, subject) -> int:
         q = check_sequence(encode(query), "query")
         s = check_sequence(encode(subject), "subject")

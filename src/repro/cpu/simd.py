@@ -69,6 +69,19 @@ class SimdBatchAligner:
         self.preset = preset
         check_positive(preset.lanes, "lanes")
 
+    @classmethod
+    def capabilities(cls):
+        from repro.core.backend import BackendCapabilities
+
+        return BackendCapabilities(
+            name="simd",
+            kind="cpu",
+            lane_batching=True,
+            batch_only=True,  # no single-pair entry; extent-bounded presets
+            dtypes=("int16", "int32"),
+            base_rank=1,
+        )
+
     def score_batch(self, queries: np.ndarray, subjects: np.ndarray) -> np.ndarray:
         """Scores for (count, n) queries against (count, m) subjects."""
         q = np.ascontiguousarray(queries, dtype=np.uint8)

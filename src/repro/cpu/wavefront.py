@@ -75,6 +75,18 @@ class WavefrontAligner:
         self.threads = threads
         self.scheduler = scheduler
 
+    @classmethod
+    def capabilities(cls):
+        from repro.core.backend import BackendCapabilities
+
+        return BackendCapabilities(
+            name="tiled",
+            kind="cpu",
+            lane_batching=True,  # score_many fills vector lanes across pairs
+            threaded=True,
+            base_rank=1,
+        )
+
     # -- border plumbing ---------------------------------------------------
     def _borders_for(self, run: _Run, tile) -> TileBorders:
         affine = self.scheme.scoring.is_affine

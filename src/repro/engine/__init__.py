@@ -1,0 +1,26 @@
+"""repro.engine — batched execution engine over the backend registry.
+
+Shape-bucketed request batching, per-(scheme, backend, dtype) plan caching
+layered on the staged kernel cache, and a thread-pooled lane-blocked
+executor reusing the dynamic wavefront scheduler for cross-pair
+parallelism.  See :class:`ExecutionEngine` for the entry point.
+"""
+
+from repro.engine.batching import ShapeBucket, encode_pairs, group_by_shape, request_graph
+from repro.engine.engine import EngineStats, ExecutionEngine
+from repro.engine.executor import BatchExecutor, ExecStats
+from repro.engine.plans import ExecutionPlan, PlanCache, global_plan_cache
+
+__all__ = [
+    "ShapeBucket",
+    "encode_pairs",
+    "group_by_shape",
+    "request_graph",
+    "EngineStats",
+    "ExecutionEngine",
+    "BatchExecutor",
+    "ExecStats",
+    "ExecutionPlan",
+    "PlanCache",
+    "global_plan_cache",
+]

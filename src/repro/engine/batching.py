@@ -1,0 +1,83 @@
+"""Shape-bucketed request batching (paper §IV-A inter-sequence regime).
+
+A batch of independent pair requests is grouped by DP extent ``(n, m)``:
+pairs sharing a shape relax together in SIMD lanes of one kernel
+invocation, exactly the paper's "blocks that consist of rows from
+independent submatrices".  This generalises the grouping logic that used
+to live inside ``Aligner.score_batch`` so the frontend, the adapters, and
+the execution engine all share one bucketing implementation.
+
+For scheduler-driven execution each request is also expressible as a
+degenerate single-tile :class:`~repro.sched.tilegraph.TileGrid`, letting
+:class:`~repro.sched.dynamic.DynamicWavefrontScheduler` apply its
+lane-blocking pop logic across *pairs* instead of submatrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.tilegraph import TileGraph, TileGrid
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+__all__ = ["ShapeBucket", "encode_pairs", "group_by_shape", "request_graph"]
+
+
+@dataclass
+class ShapeBucket:
+    """All requests of one DP extent, stacked for lane execution."""
+
+    shape: tuple[int, int]
+    indices: np.ndarray  # positions in the original request order
+    queries: np.ndarray  # (k, n) uint8 codes
+    subjects: np.ndarray  # (k, m) uint8 codes
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def cells(self) -> int:
+        return len(self.indices) * self.shape[0] * self.shape[1]
+
+
+def encode_pairs(queries, subjects) -> tuple[list, list]:
+    """Encode and pair-validate a request batch."""
+    if len(queries) != len(subjects):
+        raise ValidationError("queries and subjects must pair up")
+    return [encode(q) for q in queries], [encode(s) for s in subjects]
+
+
+def group_by_shape(enc_q: list, enc_s: list) -> list[ShapeBucket]:
+    """Bucket encoded pairs by (n, m); buckets keep first-seen order."""
+    groups: dict = {}
+    for k, (q, s) in enumerate(zip(enc_q, enc_s)):
+        groups.setdefault((q.size, s.size), []).append(k)
+    out = []
+    for shape, members in groups.items():
+        idx = np.asarray(members, dtype=np.intp)
+        out.append(
+            ShapeBucket(
+                shape=shape,
+                indices=idx,
+                queries=np.stack([enc_q[k] for k in members]),
+                subjects=np.stack([enc_s[k] for k in members]),
+            )
+        )
+    return out
+
+
+def request_graph(enc_q: list, enc_s: list) -> TileGraph:
+    """One single-tile grid per pair: a dependency-free request pool.
+
+    Every tile is immediately ready; the dynamic scheduler's shape-grouped
+    queue then hands out lane blocks of same-shape *pairs* with the same
+    logic it uses for same-shape submatrices of one long alignment.
+    ``tile.alignment_id`` is the request index.
+    """
+    grids = []
+    for k, (q, s) in enumerate(zip(enc_q, enc_s)):
+        grids.append(TileGrid.build(k, q.size, s.size, q.size, s.size, id_base=k))
+    return TileGraph(grids)

@@ -1,0 +1,142 @@
+"""The batched execution engine: the serving-path frontend.
+
+:class:`ExecutionEngine` accepts request batches and runs them through
+shape bucketing (:mod:`repro.engine.batching`), per-parameterisation plan
+caching (:mod:`repro.engine.plans`, layered on the staged kernel cache),
+and the lane-blocked thread-pooled executor
+(:mod:`repro.engine.executor`).  Every name in
+:data:`repro.core.aligner.BACKEND_FACTORIES` — plus the inline kernel
+strategies and ``auto`` — is accepted per engine or per call; ``auto``
+re-selects for each batch from the declared backend capabilities and the
+batch shape.
+
+This is the layer later scaling work (async serving, sharding, streaming
+FASTA pipelines) builds on; ``Aligner`` remains the convenient single-pair
+frontend over the same registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backend import available_backends, normalize_name, select_backend
+from repro.core.scoring import default_scheme
+from repro.core.types import AlignmentScheme
+from repro.engine.batching import encode_pairs
+from repro.engine.executor import BatchExecutor, ExecStats
+from repro.engine.plans import PlanCache, global_plan_cache
+from repro.util.checks import check_in
+
+__all__ = ["ExecutionEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative work accounting of one engine instance."""
+
+    batches: int = 0
+    exec: ExecStats = field(default_factory=ExecStats)
+    backends_used: dict = field(default_factory=dict)
+    _lock: object = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, backend: str):
+        with self._lock:
+            self.batches += 1
+            self.backends_used[backend] = self.backends_used.get(backend, 0) + 1
+
+
+class ExecutionEngine:
+    """Batched scoring/alignment over any registered backend.
+
+    Parameters
+    ----------
+    scheme:
+        Alignment type + scoring shared by all requests of this engine.
+    backend:
+        Default backend name (``"auto"`` re-selects per batch shape).
+    dtype:
+        Score width for the staged kernel paths.
+    max_workers / lanes:
+        Executor sizing: worker threads and the vector-block width the
+        scheduler tries to fill per pop.
+    plan_cache:
+        Plan cache to layer on (defaults to the process-wide cache).
+    """
+
+    def __init__(
+        self,
+        scheme: AlignmentScheme | None = None,
+        backend: str = "auto",
+        dtype=np.int32,
+        max_workers: int | None = None,
+        lanes: int = 64,
+        plan_cache: PlanCache | None = None,
+    ):
+        self.scheme = scheme if scheme is not None else default_scheme()
+        self.backend = check_in(backend, available_backends(), "backend")
+        self.dtype = np.dtype(dtype)
+        self.executor = BatchExecutor(max_workers=max_workers, lanes=lanes)
+        self.plan_cache = plan_cache if plan_cache is not None else global_plan_cache
+        self.stats = EngineStats()
+
+    # -- planning ----------------------------------------------------------
+    def _resolve(self, backend, enc_q, enc_s, need_traceback=False) -> str:
+        name = backend if backend is not None else self.backend
+        check_in(name, available_backends(), "backend")
+        name = normalize_name(name)
+        if name == "auto":
+            extent = max(max(q.size for q in enc_q), max(s.size for s in enc_s))
+            name = select_backend(
+                self.scheme,
+                pairs=len(enc_q),
+                extent=extent,
+                need_traceback=need_traceback,
+            )
+        return name
+
+    def plan_for(self, backend: str | None = None, pairs: int = 16, extent: int = 0):
+        """Resolve and cache the plan auto would use for a workload shape."""
+        name = backend if backend is not None else self.backend
+        check_in(name, available_backends(), "backend")
+        name = normalize_name(name)
+        if name == "auto":
+            name = select_backend(self.scheme, pairs=pairs, extent=extent)
+        return self.plan_cache.get_or_build(self.scheme, name, self.dtype)
+
+    # -- request entry points ----------------------------------------------
+    def submit_batch(self, queries, subjects, backend: str | None = None) -> np.ndarray:
+        """Scores for many independent pairs (the serving hot path)."""
+        enc_q, enc_s = encode_pairs(queries, subjects)
+        if not enc_q:
+            return np.empty(0, dtype=np.int64)
+        name = self._resolve(backend, enc_q, enc_s)
+        plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
+        self.stats.record(name)
+        return self.executor.run_scores(plan, enc_q, enc_s, self.stats.exec)
+
+    def align_batch(self, queries, subjects, backend: str | None = None) -> list:
+        """Full alignments for many pairs, pair-parallel across threads."""
+        enc_q, enc_s = encode_pairs(queries, subjects)
+        if not enc_q:
+            return []
+        name = self._resolve(backend, enc_q, enc_s, need_traceback=True)
+        plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
+        self.stats.record(name)
+        return self.executor.run_aligns(plan, enc_q, enc_s, self.stats.exec)
+
+    # -- introspection -----------------------------------------------------
+    def report(self) -> str:
+        """Human-readable cache + work statistics (perf.report format)."""
+        from repro.perf.report import cache_stats_table
+
+        return cache_stats_table(self.plan_cache, engine=self)
+
+    def __repr__(self):
+        at = self.scheme.alignment_type.value
+        return (
+            f"ExecutionEngine({at}, backend={self.backend!r}, "
+            f"workers={self.executor.max_workers}, lanes={self.executor.lanes})"
+        )

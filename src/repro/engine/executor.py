@@ -1,0 +1,164 @@
+"""Thread-pooled batch executor driven by the wavefront scheduler.
+
+Cross-pair parallelism reuses
+:class:`~repro.sched.dynamic.DynamicWavefrontScheduler` verbatim: each
+request becomes a single-tile grid (see
+:func:`repro.engine.batching.request_graph`), so the scheduler's
+shape-grouped queue hands workers *lane blocks of same-shape pairs* — the
+identical pop-a-vector-block-else-fall-back-to-scalar logic the paper uses
+for submatrices, applied one level up.  Workers are plain threads, as in
+:class:`repro.cpu.wavefront.WavefrontAligner`; NumPy releases the GIL
+inside ufuncs so lane-block relaxations overlap.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.batching import request_graph
+from repro.sched.dynamic import DynamicWavefrontScheduler
+from repro.util.checks import check_positive
+
+__all__ = ["BatchExecutor", "ExecStats"]
+
+
+@dataclass
+class ExecStats:
+    """Work accounting of executor runs (merged into engine stats)."""
+
+    pairs: int = 0
+    cells: int = 0
+    lane_blocks: int = 0
+    scalar_pops: int = 0
+
+    def merge(self, other: "ExecStats"):
+        self.pairs += other.pairs
+        self.cells += other.cells
+        self.lane_blocks += other.lane_blocks
+        self.scalar_pops += other.scalar_pops
+
+
+class BatchExecutor:
+    """Runs one plan over a request batch with lane blocking + threads."""
+
+    def __init__(self, max_workers: int | None = None, lanes: int = 64):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self.max_workers = check_positive(max_workers, "max_workers")
+        self.lanes = check_positive(lanes, "lanes")
+        # Guards stats mutation across workers AND across concurrent
+        # run_scores/run_aligns calls sharing one stats object.
+        self._stats_lock = threading.Lock()
+
+    def _drain(self, sched, pop, plan, enc_q, enc_s, out, stats, lock):
+        while True:
+            block = pop()
+            if not block:
+                return
+            if len(block) > 1:
+                idx = [t.alignment_id for t in block]
+                scores = plan.score_block(
+                    np.stack([enc_q[i] for i in idx]),
+                    np.stack([enc_s[i] for i in idx]),
+                )
+                out[np.asarray(idx)] = scores
+                with lock:
+                    stats.lane_blocks += 1
+            else:
+                t = block[0]
+                out[t.alignment_id] = plan.score_one(enc_q[t.alignment_id], enc_s[t.alignment_id])
+                with lock:
+                    stats.scalar_pops += 1
+            sched.complete(block)
+
+    def run_scores(self, plan, enc_q: list, enc_s: list, stats: ExecStats | None = None) -> np.ndarray:
+        """Scores for encoded pairs; lane-blocked, thread-pooled."""
+        count = len(enc_q)
+        out = np.empty(count, dtype=np.int64)
+        if count == 0:
+            return out
+        stats = stats if stats is not None else ExecStats()
+        with self._stats_lock:
+            stats.pairs += count
+            stats.cells += sum(q.size * s.size for q, s in zip(enc_q, enc_s))
+
+        lanes = self.lanes if plan.lane_batching else 1
+        graph = request_graph(enc_q, enc_s)
+        # Requests have no dependencies, so per-shape remainders pop as
+        # partial vector blocks instead of scalar singles.
+        sched = DynamicWavefrontScheduler(graph, lanes=lanes, partial_blocks=True)
+        lock = self._stats_lock
+        workers = min(self.max_workers, count)
+        if workers <= 1:
+            self._drain(sched, sched.try_pop, plan, enc_q, enc_s, out, stats, lock)
+            return out
+
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                # The request pool is dependency-free: completing a block
+                # never readies new work, so non-blocking pops drain it
+                # fully and a failing peer cannot stall anyone.
+                self._drain(
+                    sched, sched.try_pop, plan, enc_q, enc_s, out, stats, lock
+                )
+            except BaseException as exc:  # surface worker failures
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return out
+
+    def run_aligns(self, plan, enc_q: list, enc_s: list, stats: ExecStats | None = None) -> list:
+        """Full alignments; pair-parallel across threads (no lanes)."""
+        count = len(enc_q)
+        if count == 0:
+            return []
+        stats = stats if stats is not None else ExecStats()
+        with self._stats_lock:
+            stats.pairs += count
+            stats.cells += sum(q.size * s.size for q, s in zip(enc_q, enc_s))
+        out: list = [None] * count
+        workers = min(self.max_workers, count)
+        if workers <= 1:
+            for k in range(count):
+                out[k] = plan.align_one(enc_q[k], enc_s[k])
+                with self._stats_lock:
+                    stats.scalar_pops += 1
+            return out
+
+        cursor = {"next": 0}
+        lock = self._stats_lock
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                while True:
+                    with lock:
+                        k = cursor["next"]
+                        if k >= count:
+                            return
+                        cursor["next"] = k + 1
+                        stats.scalar_pops += 1
+                    out[k] = plan.align_one(enc_q[k], enc_s[k])
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return out

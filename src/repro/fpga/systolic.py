@@ -71,6 +71,16 @@ class SystolicAligner:
         self.k_pe = check_positive(k_pe, "k_pe")
         self.stats = SystolicStats()
 
+    @classmethod
+    def capabilities(cls):
+        from repro.core.backend import BackendCapabilities
+
+        return BackendCapabilities(
+            name="fpga",
+            kind="fpga",
+            simulated=True,  # exact scores, cycle-accurate PE-array model
+        )
+
     def score(self, query, subject) -> int:
         """Optimal score; ``self.stats`` holds the exact cycle counts."""
         q = check_sequence(encode(query), "query")

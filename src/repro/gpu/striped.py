@@ -236,6 +236,16 @@ class GpuAligner(WavefrontAligner):
         self.counters = PerfCounters()
         self._model_seconds = 0.0
 
+    @classmethod
+    def capabilities(cls):
+        from repro.core.backend import BackendCapabilities
+
+        return BackendCapabilities(
+            name="gpu",
+            kind="gpu",
+            simulated=True,  # exact scores, modelled device time
+        )
+
     def score(self, query, subject) -> int:
         q = check_sequence(encode(query), "query")
         s = check_sequence(encode(subject), "subject")

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["format_table", "code_sharing", "CodeSharing"]
+__all__ = ["format_table", "code_sharing", "cache_stats_table", "CodeSharing"]
 
 
 def format_table(headers, rows, title: str = "") -> str:
@@ -34,6 +34,49 @@ def format_table(headers, rows, title: str = "") -> str:
     return "\n".join(out)
 
 
+def cache_stats_table(plan_cache=None, engine=None) -> str:
+    """Hit/miss statistics of the plan cache and the kernel cache under it.
+
+    ``plan_cache`` defaults to the process-wide engine plan cache; pass an
+    :class:`repro.engine.ExecutionEngine` as ``engine`` to append its work
+    accounting (batches, lane blocks, scalar pops, backends used).
+    """
+    if plan_cache is None:
+        from repro.engine.plans import global_plan_cache as plan_cache
+
+    s = plan_cache.stats()
+
+    def rate(hits, misses):
+        total = hits + misses
+        return f"{100 * hits / total:.1f}%" if total else "-"
+
+    rows = [
+        ("plan", s["plans"], s["plan_hits"], s["plan_misses"], rate(s["plan_hits"], s["plan_misses"])),
+        ("kernel", s["kernels"], s["kernel_hits"], s["kernel_misses"], rate(s["kernel_hits"], s["kernel_misses"])),
+    ]
+    out = format_table(
+        ("cache", "entries", "hits", "misses", "hit rate"), rows, title="Execution caches"
+    )
+    if engine is not None:
+        st = engine.stats
+        work = format_table(
+            ("batches", "pairs", "cells", "lane blocks", "scalar pops", "backends"),
+            [
+                (
+                    st.batches,
+                    st.exec.pairs,
+                    st.exec.cells,
+                    st.exec.lane_blocks,
+                    st.exec.scalar_pops,
+                    ", ".join(f"{k}x{v}" for k, v in sorted(st.backends_used.items())) or "-",
+                )
+            ],
+            title="Engine work",
+        )
+        out = out + "\n\n" + work
+    return out
+
+
 #: Subsystem classification: which top-level repro subpackages are
 #: specific to which execution target (mirroring the paper's breakdown;
 #: benchmarking/I/O/workload code is excluded like the paper excludes its
@@ -45,6 +88,7 @@ _CLASSIFICATION = {
     "core": "shared",
     "stage": "shared",
     "sched": "shared",
+    "engine": "shared",
     "baselines": None,  # comparators, not part of the library proper
     "workloads": None,  # supporting code (the paper excludes it too)
     "perf": None,

@@ -100,7 +100,14 @@ class KernelCache:
                 return kern
         kern = thunk()
         with self._lock:
-            self._kernels.setdefault(key, kern)
+            existing = self._kernels.get(key)
+            if existing is not None:
+                # Another thread raced us and its kernel was installed; ours
+                # is discarded, so this lookup is served from the cache — a
+                # hit, not a second miss.
+                self.hits += 1
+                return existing
+            self._kernels[key] = kern
             self.misses += 1
         return kern
 

@@ -1,0 +1,233 @@
+"""Tests for the batched execution engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Aligner
+from repro.core.backend import available_backends, capability_matrix, select_backend
+from repro.core.recurrence import score_reference
+from repro.core.scoring import (
+    default_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    simple_subst_scoring,
+)
+from repro.engine import (
+    BatchExecutor,
+    ExecutionEngine,
+    PlanCache,
+    encode_pairs,
+    group_by_shape,
+    request_graph,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+
+def _mixed_pairs(count, seed=5, lengths=(16, 24, 40)):
+    rng = np.random.default_rng(seed)
+    qs, ss = [], []
+    for _ in range(count):
+        qs.append("".join(rng.choice(list("ACGT"), int(rng.choice(lengths)))))
+        ss.append("".join(rng.choice(list("ACGT"), int(rng.choice(lengths)))))
+    return qs, ss
+
+
+def _refs(qs, ss, scheme):
+    return [score_reference(encode(q), encode(s), scheme) for q, s in zip(qs, ss)]
+
+
+class TestShapeBucketing:
+    def test_groups_partition_requests(self):
+        qs, ss = _mixed_pairs(30)
+        enc_q, enc_s = encode_pairs(qs, ss)
+        buckets = group_by_shape(enc_q, enc_s)
+        seen = np.concatenate([b.indices for b in buckets])
+        assert sorted(seen) == list(range(30))
+        for b in buckets:
+            assert b.queries.shape == (len(b), b.shape[0])
+            assert b.subjects.shape == (len(b), b.shape[1])
+            for row, k in zip(b.queries, b.indices):
+                assert np.array_equal(row, enc_q[k])
+
+    def test_bucket_cells(self):
+        enc_q, enc_s = encode_pairs(["ACGT", "ACGT"], ["ACG", "ACG"])
+        (bucket,) = group_by_shape(enc_q, enc_s)
+        assert bucket.shape == (4, 3)
+        assert bucket.cells == 2 * 4 * 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_pairs(["AC"], ["AC", "GT"])
+
+    def test_request_graph_is_dependency_free(self):
+        enc_q, enc_s = encode_pairs(*_mixed_pairs(12))
+        graph = request_graph(enc_q, enc_s)
+        assert len(graph) == 12
+        ready = graph.initial_ready()
+        assert len(ready) == 12  # every request immediately poppable
+        assert sorted(t.alignment_id for t in ready) == list(range(12))
+
+    def test_scheduler_pops_lane_blocks_of_pairs(self):
+        """Same-shape requests come off the queue as vector blocks."""
+        from repro.sched.dynamic import DynamicWavefrontScheduler
+
+        enc_q, enc_s = encode_pairs(["ACGT"] * 8 + ["ACGTA"], ["ACG"] * 8 + ["ACGT"])
+        sched = DynamicWavefrontScheduler(request_graph(enc_q, enc_s), lanes=4)
+        block = sched.try_pop()
+        assert len(block) == 4
+        assert {t.shape for t in block} == {(4, 3)}
+
+
+class TestAutoSelection:
+    def test_many_short_pairs_pick_lanes(self):
+        assert select_backend(default_scheme(), pairs=1000, extent=150) == "rowscan"
+
+    def test_single_long_pair_picks_tiled(self):
+        assert select_backend(default_scheme(), pairs=1, extent=100_000) == "tiled"
+
+    def test_single_short_pair_picks_rowscan(self):
+        assert select_backend(default_scheme(), pairs=1, extent=64) == "rowscan"
+
+    def test_traceback_requires_capable_backend(self):
+        name = select_backend(
+            default_scheme(), pairs=1, extent=100_000, need_traceback=True
+        )
+        assert capability_matrix()[name].supports_traceback
+
+    def test_never_picks_simulated_or_comparator(self):
+        caps = capability_matrix()
+        for pairs, extent in [(1, 50), (1, 50_000), (500, 100), (10_000, 150)]:
+            name = select_backend(default_scheme(), pairs=pairs, extent=extent)
+            assert not caps[name].simulated and not caps[name].comparator
+
+
+class TestEngine:
+    def test_submit_batch_matches_reference(self):
+        qs, ss = _mixed_pairs(60)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        assert list(eng.submit_batch(qs, ss)) == _refs(qs, ss, eng.scheme)
+
+    def test_every_backend_name_accepted(self):
+        qs, ss = _mixed_pairs(4, seed=9, lengths=(12, 18))
+        scheme = default_scheme()
+        refs = _refs(qs, ss, scheme)
+        eng = ExecutionEngine(scheme, plan_cache=PlanCache())
+        for name in sorted(available_backends()):
+            if not capability_matrix().get(name, None) and name != "auto":
+                continue
+            if name != "auto" and not capability_matrix()[name].supports_scheme(scheme):
+                continue
+            assert list(eng.submit_batch(qs, ss, backend=name)) == refs, name
+
+    def test_local_scheme_through_comparator(self):
+        scheme = local_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        qs, ss = _mixed_pairs(6, seed=2, lengths=(15, 21))
+        eng = ExecutionEngine(scheme, plan_cache=PlanCache())
+        assert list(eng.submit_batch(qs, ss, backend="ssw")) == _refs(qs, ss, scheme)
+
+    def test_invalid_backend_rejected(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        with pytest.raises(ValidationError):
+            eng.submit_batch(["ACGT"], ["ACGT"], backend="quantum")
+
+    def test_empty_batch(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        assert eng.submit_batch([], []).size == 0
+        assert eng.align_batch([], []) == []
+
+    def test_align_batch_matches_scores(self):
+        qs, ss = _mixed_pairs(10)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        results = eng.align_batch(qs, ss)
+        assert [r.score for r in results] == _refs(qs, ss, eng.scheme)
+
+    def test_single_worker_engine(self):
+        qs, ss = _mixed_pairs(20)
+        eng = ExecutionEngine(max_workers=1, plan_cache=PlanCache())
+        assert list(eng.submit_batch(qs, ss)) == _refs(qs, ss, eng.scheme)
+
+    def test_engine_matches_aligner_batch(self):
+        qs, ss = _mixed_pairs(25, seed=13)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        assert list(eng.submit_batch(qs, ss)) == list(Aligner().score_batch(qs, ss))
+
+
+class TestPlanCache:
+    def test_repeat_traffic_hits(self):
+        cache = PlanCache()
+        qs, ss = _mixed_pairs(8)
+        eng = ExecutionEngine(plan_cache=cache)
+        eng.submit_batch(qs, ss)
+        assert cache.misses == 1 and cache.hits == 0
+        eng.submit_batch(qs, ss)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_parameterisations_distinct_plans(self):
+        cache = PlanCache()
+        qs, ss = _mixed_pairs(4, lengths=(10, 14))
+        ExecutionEngine(plan_cache=cache).submit_batch(qs, ss)
+        ExecutionEngine(plan_cache=cache, dtype=np.int16).submit_batch(qs, ss)
+        scheme = local_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        ExecutionEngine(scheme, plan_cache=cache).submit_batch(qs, ss)
+        assert len(cache) == 3
+        assert cache.misses == 3
+
+    def test_plans_layer_on_kernel_cache(self):
+        from repro.stage.compile import global_kernel_cache
+
+        cache = PlanCache()
+        qs, ss = _mixed_pairs(4)
+        before = len(global_kernel_cache)
+        ExecutionEngine(plan_cache=cache).submit_batch(qs, ss)
+        stats = cache.stats()
+        assert stats["kernels"] == len(global_kernel_cache) >= before
+        assert {"plan_hits", "plan_misses", "kernel_hits", "kernel_misses"} <= set(stats)
+
+    def test_stats_surface_through_perf_report(self):
+        from repro.perf import cache_stats_table
+
+        cache = PlanCache()
+        eng = ExecutionEngine(plan_cache=cache)
+        qs, ss = _mixed_pairs(8)
+        eng.submit_batch(qs, ss)
+        text = cache_stats_table(cache, engine=eng)
+        assert "plan" in text and "kernel" in text
+        assert "Engine work" in text
+
+    def test_engine_stats_accumulate(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        qs, ss = _mixed_pairs(16)
+        eng.submit_batch(qs, ss)
+        eng.submit_batch(qs, ss)
+        assert eng.stats.batches == 2
+        assert eng.stats.exec.pairs == 32
+        assert eng.stats.exec.cells > 0
+        assert eng.stats.exec.lane_blocks + eng.stats.exec.scalar_pops > 0
+
+
+class TestEngineFasterThanSequential:
+    def test_lane_blocks_beat_sequential_loop(self):
+        """Engine batching must beat the seed's per-pair sequential loop.
+
+        Timed over the same 1k+ mixed-shape workload as
+        ``benchmarks/bench_engine_batch.py`` but with a lenient bound so CI
+        noise cannot flake it (the benchmark records the real ratio).
+        """
+        import time
+
+        qs, ss = _mixed_pairs(1024, seed=17, lengths=(32, 48, 64, 96))
+        a = Aligner()
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        eng.submit_batch(qs[:8], ss[:8])  # warm kernels + plan
+
+        t0 = time.perf_counter()
+        seq = [a.score(q, s) for q, s in zip(qs, ss)]
+        t1 = time.perf_counter()
+        out = eng.submit_batch(qs, ss)
+        t2 = time.perf_counter()
+
+        assert list(out) == seq
+        assert (t2 - t1) < (t1 - t0), (
+            f"engine {t2 - t1:.3f}s not faster than sequential {t1 - t0:.3f}s"
+        )

@@ -1,5 +1,6 @@
 """Every example must run clean end to end (deliverable b)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,15 +8,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+SRC = str(Path(__file__).parent.parent / "src")
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script):
+    # Examples are subprocesses: they need src/ on PYTHONPATH even when the
+    # suite itself got it from pyproject's pythonpath setting.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must produce output"

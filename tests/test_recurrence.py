@@ -18,7 +18,7 @@ from repro.core.scoring import (
 from repro.core.types import AlignmentType
 from repro.util.encoding import encode
 
-from .helpers import assert_valid_result, brute_force, random_dna_str
+from helpers import assert_valid_result, brute_force, random_dna_str
 
 SUB = simple_subst_scoring(2, -1)
 LINEAR = linear_gap_scoring(SUB, -1)

@@ -152,6 +152,23 @@ class TestDynamicScheduler:
         with pytest.raises(SchedulingError):
             DynamicWavefrontScheduler(_graph(), lanes=0)
 
+    def test_partial_blocks_pop_short_vector_blocks(self):
+        # 3 same-shape alignments of one tile each: fewer ready tiles than
+        # lanes.  Default semantics degrade to scalar singles; with
+        # partial_blocks the remainder pops as one short vector block.
+        grids = [TileGrid.build(k, 16, 16, 16, 16, id_base=k) for k in range(3)]
+        sched = DynamicWavefrontScheduler(TileGraph(grids), lanes=8)
+        assert len(sched.try_pop()) == 1
+        sched_partial = DynamicWavefrontScheduler(
+            TileGraph(grids), lanes=8, partial_blocks=True
+        )
+        block = sched_partial.try_pop()
+        assert len(block) == 3
+        assert len({t.shape for t in block}) == 1
+        assert sched_partial.block_pops == 1
+        sched_partial.complete(block)
+        assert sched_partial.done
+
 
 class TestStaticSchedule:
     def test_diagonal_partition(self):

@@ -308,6 +308,35 @@ class TestKernelCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_concurrent_builders_count_one_miss(self):
+        """Racing builders: only the thread whose kernel lands counts a miss."""
+        import threading
+
+        cache = KernelCache()
+        barrier = threading.Barrier(4)
+        built = []
+
+        def thunk():
+            built.append(1)
+            return _build_axpy("scalar")
+
+        def worker():
+            barrier.wait()  # all four miss the first lookup together
+            cache.get_or_build(("axpy", "raced"), thunk)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # However the race resolves, exactly one kernel is installed — one
+        # miss; every other call (redundant build or first-lookup hit) is
+        # served from the cache and counts a hit.
+        assert 1 <= len(built) <= 4
+        assert cache.misses == 1
+        assert cache.hits == 3
+        assert len(cache) == 1
+
 
 class TestEmission:
     def test_emit_function_standalone(self):

@@ -19,7 +19,7 @@ from repro.core.scoring import (
 from repro.core.traceback import align_block, align_linear_space
 from repro.util.encoding import encode
 
-from .helpers import assert_valid_result, random_dna_str
+from helpers import assert_valid_result, random_dna_str
 
 SUB = simple_subst_scoring(2, -1)
 LINEAR = linear_gap_scoring(SUB, -1)
