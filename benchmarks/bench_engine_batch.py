@@ -57,10 +57,11 @@ def test_engine_beats_sequential_loop(report):
     ]
 
     t_best = t_seq
+    by_workers = {}
     for workers in (1, 4, 8):
-        eng = ExecutionEngine(max_workers=workers, plan_cache=PlanCache())
-        eng.submit_batch(qs[:8], ss[:8])  # warm the plan
-        t_eng, out = _time(lambda: eng.submit_batch(qs, ss))
+        with ExecutionEngine(max_workers=workers, plan_cache=PlanCache()) as eng:
+            eng.submit_batch(qs[:8], ss[:8])  # warm the plan
+            t_eng, out = _time(lambda: eng.submit_batch(qs, ss))
         assert list(out) == seq
         rows.append(
             (
@@ -70,6 +71,7 @@ def test_engine_beats_sequential_loop(report):
                 f"{t_seq / t_eng:.1f}x",
             )
         )
+        by_workers[workers] = t_eng
         t_best = min(t_best, t_eng)
 
     report(
@@ -79,6 +81,15 @@ def test_engine_beats_sequential_loop(report):
             rows,
             title=f"Batched scoring: {COUNT} mixed-shape pairs ({len(LENGTHS)} shapes)",
         ),
+        data={
+            "pairs": COUNT,
+            "cells": cells,
+            "sequential_s": t_seq,
+            "score_batch_lanes_s": t_lanes,
+            "engine_s_by_workers": {str(k): v for k, v in by_workers.items()},
+            "best_speedup": t_seq / t_best,
+            "best_gcups": cells / t_best / 1e9,
+        },
     )
     # Acceptance: engine batching is measurably faster than the seed loop.
     assert t_best < t_seq

@@ -1,0 +1,123 @@
+"""Streaming search pipeline vs. exhaustive full-DP scoring.
+
+The query-vs-database scenario (PR 2 acceptance): many queries against a
+long reference.  The baseline materializes every (query, window) pair and
+scores it with full DP through ``ExecutionEngine.submit_batch`` — the only
+thing the repo could do before the streaming pipeline.  The pipeline adds
+the k-mer seed prefilter and band-constrained verification; the acceptance
+bar is ≥3× throughput on the same workload with the rejection rate and
+cells-skipped accounting reported via ``perf.report``.
+
+``-k smoke`` selects the tiny CI variant.
+"""
+
+import time
+
+from repro.engine import ExecutionEngine, PlanCache
+from repro.perf import format_table
+from repro.search import default_search_scheme, exhaustive_topk, search
+from repro.util.rng import make_rng
+from repro.workloads import MutationModel, mutate, random_genome
+
+
+def _workload(ref_len, count, qlen, seed=97, divergence=0.03):
+    rng = make_rng(seed)
+    ref = random_genome(ref_len, seed=rng)
+    positions = rng.integers(0, ref.size - qlen, count)
+    model = MutationModel(
+        substitution=divergence, insertion=0.001, deletion=0.001, indel_mean=2.0
+    )
+    queries = [mutate(ref[p : p + qlen], model, seed=rng) for p in positions]
+    return ref, queries, positions
+
+
+def _run_comparison(report, name, ref_len, count, qlen, min_speedup):
+    ref, queries, positions = _workload(ref_len, count, qlen)
+    window, min_score = 2 * qlen, int(2 * qlen * 0.8)
+    scheme = default_search_scheme()
+
+    # Baseline: exhaustive full DP over every (query, window) pair via the
+    # engine's batch path (lane-batched, plan-cached — its best footing).
+    with ExecutionEngine(scheme, backend="rowscan", plan_cache=PlanCache()) as eng:
+        eng.submit_batch(queries[:2], [ref[:window], ref[:window]])  # warm
+        t0 = time.perf_counter()
+        oracle = exhaustive_topk(
+            queries, ref, k=3, window=window, min_score=min_score, engine=eng
+        )
+        t_full = time.perf_counter() - t0
+
+    # Pipeline: seed prefilter + banded verify + top-K, streaming.
+    with ExecutionEngine(scheme, backend="rowscan", plan_cache=PlanCache()) as eng:
+        t0 = time.perf_counter()
+        run = search(
+            queries, ref, k=3, window=window, min_score=min_score, engine=eng
+        )
+        topk = run.topk()
+        t_search = time.perf_counter() - t0
+
+    # Every planted placement recovered, and the top hit agrees with the
+    # exhaustive oracle (shoulder hits below the band may differ).
+    for qid, p in enumerate(positions):
+        assert topk[qid], f"query {qid} lost its planted hit"
+        best = topk[qid][0]
+        assert best.start <= p < best.end
+        assert (best.start, best.score) == (
+            oracle[qid][0].start,
+            oracle[qid][0].score,
+        ), qid
+
+    st = run.stats
+    speedup = t_full / t_search
+    table = format_table(
+        ("path", "s", "pairs scored", "cells", "speedup"),
+        [
+            (
+                "exhaustive full-DP score_batch",
+                f"{t_full:7.2f}",
+                st.candidates,
+                st.cells_computed + st.cells_skipped,
+                "1.0x",
+            ),
+            (
+                "streaming search pipeline",
+                f"{t_search:7.2f}",
+                st.pairs,
+                st.cells_computed,
+                f"{speedup:.1f}x",
+            ),
+        ],
+        title=(
+            f"Database search: {count} queries ({qlen} bp) vs {ref_len:,} bp reference"
+        ),
+    )
+    report(
+        name,
+        table + "\n\n" + run.report(),
+        data={
+            "ref_len": ref_len,
+            "queries": count,
+            "query_len": qlen,
+            "full_dp_s": t_full,
+            "search_s": t_search,
+            "speedup": speedup,
+            "rejection_rate": st.rejection_rate,
+            "pairs_verified": st.pairs,
+            "cells_computed": st.cells_computed,
+            "cells_skipped_prefilter": st.cells_skipped_prefilter,
+            "cells_skipped_band": st.cells_skipped_band,
+            "gcups": st.gcups,
+        },
+    )
+    assert speedup >= min_speedup, (
+        f"search pipeline only {speedup:.1f}x over full DP (need {min_speedup}x)"
+    )
+
+
+def test_search_beats_full_dp(report):
+    """Acceptance: ≥3× throughput over full-DP score_batch, same workload."""
+    _run_comparison(report, "search", ref_len=100_000, count=48, qlen=120, min_speedup=3.0)
+
+
+def test_search_smoke(report):
+    """Tiny CI variant: correctness + any speedup at all."""
+    _run_comparison(report, "search_smoke", ref_len=20_000, count=12, qlen=80, min_speedup=1.0)

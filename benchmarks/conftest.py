@@ -4,10 +4,15 @@ Every bench writes its paper-shaped table to ``benchmarks/results/`` and
 echoes it to the terminal (bypassing capture), so
 ``pytest benchmarks/ --benchmark-only`` leaves both the pytest-benchmark
 timing table and the reproduction tables in the transcript.
+
+Benches that also pass ``data=`` persist a machine-readable
+``BENCH_<name>.json`` next to the text table, so the perf trajectory is
+tracked PR-over-PR (CI archives the files; diffs show regressions).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -17,11 +22,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture
 def report(capsys):
-    """Callable fixture: report(name, text) persists and prints a table."""
+    """Callable fixture: report(name, text, data=None).
 
-    def _report(name: str, text: str):
+    Persists and prints the table; ``data`` (a JSON-serializable dict)
+    additionally lands in ``results/BENCH_<name>.json``.
+    """
+
+    def _report(name: str, text: str, data: dict | None = None):
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
         with capsys.disabled():
             print(f"\n{text}\n")
 

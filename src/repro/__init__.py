@@ -29,7 +29,7 @@ from repro.core import (
     simple_subst_scoring,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AffineGap",

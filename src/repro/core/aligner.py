@@ -154,6 +154,24 @@ class Aligner:
             return score_reference(q, s, self.scheme)
         return int(self._delegate(backend).score(q, s))
 
+    def banded_score(self, query, subject, band: int, widen: bool = False) -> int:
+        """Band-constrained score (``|j − i| ≤ band``; global/semiglobal).
+
+        Routes through :func:`repro.core.banded.banded_score`; the resolved
+        backend must declare the ``banded`` capability (the staged inline
+        strategies do — all of them share the one banded row sweep).
+        """
+        from repro.core.backend import capability_matrix
+        from repro.core.banded import banded_score as _banded_score
+
+        q, s = encode(query), encode(subject)
+        backend = self._pick(pairs=1, extent=max(q.size, s.size))
+        if not capability_matrix()[backend].banded:
+            raise ValidationError(
+                f"backend {backend!r} does not support banded scoring"
+            )
+        return _banded_score(q, s, self.scheme, band, widen=widen)
+
     def align(self, query, subject) -> AlignmentResult:
         """Optimal alignment (score + gapped strings), linear space."""
         q, s = encode(query), encode(subject)

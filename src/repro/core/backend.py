@@ -80,6 +80,7 @@ class BackendCapabilities:
     alignment_types: frozenset = _TYPES_ALL
     gap_models: frozenset = _GAPS_BOTH
     supports_traceback: bool = False
+    banded: bool = False  # band-constrained scoring (repro.core.banded)
     lane_batching: bool = False  # same-shape pairs relax in SIMD lanes
     threaded: bool = False  # scales across worker threads
     batch_only: bool = False  # no native single-pair entry point
@@ -100,6 +101,8 @@ class BackendCapabilities:
         flags = []
         if self.supports_traceback:
             flags.append("traceback")
+        if self.banded:
+            flags.append("banded")
         if self.lane_batching:
             flags.append("lanes")
         if self.threaded:
@@ -132,6 +135,7 @@ _INLINE_CAPS = {
         name="rowscan",
         kind="cpu",
         supports_traceback=True,
+        banded=True,
         lane_batching=True,
         dtypes=("int16", "int32", "int64"),
         base_rank=2,
@@ -140,12 +144,14 @@ _INLINE_CAPS = {
         name="scalar",
         kind="cpu",
         supports_traceback=True,
+        banded=True,
         base_rank=-2,
     ),
     "reference": BackendCapabilities(
         name="reference",
         kind="cpu",
         supports_traceback=True,
+        banded=True,
         base_rank=-5,
     ),
 }

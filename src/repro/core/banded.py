@@ -1,4 +1,4 @@
-"""Banded global alignment (library extension).
+"""Banded alignment (library extension).
 
 Restricts the DP to cells with ``|j − i| ≤ band``, the standard speed/
 exactness trade used when the two sequences are known to be similar (every
@@ -7,9 +7,23 @@ optimal score over band-constrained paths; it equals the unbanded optimum
 whenever the true alignment stays inside the band, and a band of
 ``max(n, m)`` is always exact.
 
+Two alignment types are supported:
+
+* **global** — both sequences end-to-end; the band must reach the (n, m)
+  corner, so ``band ≥ |n − m|`` is required (``widen=True`` auto-widens an
+  infeasible band to that minimum instead of raising).
+* **semiglobal** — free end gaps in either sequence: row 0 and column 0
+  initialise to 0 inside the band and the optimum is taken over in-band
+  cells of the last row and last column.  Any ``band ≥ 0`` is feasible;
+  this is the verification mode of the search pipeline
+  (:mod:`repro.search`), where a query is placed anywhere inside a
+  reference window and the band bounds the placement offset plus indel
+  drift.
+
 Row sweep with the same prefix-scan closure as the unbanded kernels, but
 each row only touches its ``[max(1, i−band), min(m, i+band)]`` window, so
-work is O((n+m)·band) instead of O(n·m).
+work is O((n+m)·band) instead of O(n·m); :func:`band_cells` reports the
+exact relaxed-cell count so callers can account computed vs. skipped work.
 """
 
 from __future__ import annotations
@@ -19,25 +33,51 @@ import numpy as np
 from repro.core.types import NEG_INF, AlignmentScheme, AlignmentType
 from repro.util.checks import ValidationError, check_sequence
 
-__all__ = ["banded_score"]
+__all__ = ["banded_score", "band_cells"]
 
 
-def banded_score(query, subject, scheme: AlignmentScheme, band: int) -> int:
-    """Optimal global score over paths with ``|j − i| ≤ band``.
+def band_cells(n: int, m: int, band: int) -> int:
+    """Number of DP cells a banded sweep of an ``n × m`` problem relaxes.
 
-    Raises if the band cannot even reach the (n, m) corner
-    (``band < |n − m|``) or the scheme is not global.
+    Counts interior cells with ``|j − i| ≤ band`` (the initialisation
+    border is excluded, matching how unbanded cell counts are reported).
     """
-    if scheme.alignment_type is not AlignmentType.GLOBAL:
-        raise ValidationError("banded alignment supports global schemes only")
+    if band < 0:
+        raise ValidationError(f"band must be >= 0, got {band}")
+    i = np.arange(1, n + 1, dtype=np.int64)
+    lo = np.maximum(1, i - band)
+    hi = np.minimum(m, i + band)
+    return int(np.maximum(hi - lo + 1, 0).sum())
+
+
+def banded_score(
+    query, subject, scheme: AlignmentScheme, band: int, widen: bool = False
+) -> int:
+    """Optimal score over alignment paths with ``|j − i| ≤ band``.
+
+    For global schemes the band must reach the (n, m) corner: a band
+    narrower than ``|n − m|`` raises :class:`ValidationError` unless
+    ``widen=True``, which widens it to that minimum instead.  Semiglobal
+    schemes accept any ``band ≥ 0`` (the free end gaps make every band
+    feasible).  Local schemes are rejected.
+    """
+    at = scheme.alignment_type
+    if at is AlignmentType.LOCAL:
+        raise ValidationError("banded alignment supports global and semiglobal schemes only")
+    semiglobal = at is AlignmentType.SEMIGLOBAL
     q = check_sequence(np.asarray(query, dtype=np.uint8), "query")
     s = check_sequence(np.asarray(subject, dtype=np.uint8), "subject")
     n, m = q.size, s.size
-    if band < abs(n - m):
-        raise ValidationError(
-            f"band {band} cannot reach the corner of a {n}x{m} problem "
-            f"(needs at least {abs(n - m)})"
-        )
+    if band < 0:
+        raise ValidationError(f"band must be >= 0, got {band}")
+    if not semiglobal and band < abs(n - m):
+        if widen:
+            band = abs(n - m)
+        else:
+            raise ValidationError(
+                f"band {band} cannot reach the corner of a {n}x{m} problem "
+                f"(needs at least {abs(n - m)}; pass widen=True to auto-widen)"
+            )
     gaps = scheme.scoring.gaps
     table = scheme.scoring.subst.table.astype(np.int64)
     affine = gaps.is_affine
@@ -47,45 +87,76 @@ def banded_score(query, subject, scheme: AlignmentScheme, band: int) -> int:
     else:
         g = gaps.gap
         p = -g
+    NI = NEG_INF // 2
     idx = np.arange(m + 1, dtype=np.int64)
     ramp = idx * p
 
     # Full-width rows with −∞ outside the band keep the code identical to
     # the unbanded sweep; only the touched slice does real work.
-    H = np.full(m + 1, NEG_INF // 2, dtype=np.int64)
+    H = np.full(m + 1, NI, dtype=np.int64)
     hi0 = min(m, band)
-    if affine:
+    if semiglobal:
+        H[: hi0 + 1] = 0
+        if affine:
+            E = np.full(m + 1, NI, dtype=np.int64)
+    elif affine:
         H[: hi0 + 1] = go + ge * idx[: hi0 + 1]
-        E = np.full(m + 1, NEG_INF // 2, dtype=np.int64)
+        E = np.full(m + 1, NI, dtype=np.int64)
     else:
         H[: hi0 + 1] = g * idx[: hi0 + 1]
     H[0] = 0
+
+    # Semiglobal: best over in-band cells of the last column, tracked as
+    # the sweep passes them (the last row is read off H after the loop).
+    best_tail = 0 if semiglobal and hi0 == m else NI
 
     cand = np.empty(m + 1, dtype=np.int64)
     for i in range(1, n + 1):
         lo = max(1, i - band)
         hi = min(m, i + band)
+        if lo > m:
+            # The band has left the matrix (semiglobal with n ≫ m): no
+            # in-band cell exists in this or any later row.
+            break
         w = slice(lo, hi + 1)
         wd = slice(lo - 1, hi)  # diagonal sources
         sub = table[q[i - 1], s[lo - 1 : hi]]
-        cand[:] = NEG_INF // 2
+        cand[:] = NI
         if affine:
             Ew = np.maximum(E[w] + ge, H[w] + go + ge)
             np.maximum(H[wd] + sub, Ew, out=cand[w])
             E[w] = Ew
-            E[lo - 1 : lo] = NEG_INF // 2  # cell left of the band is dead
+            E[lo - 1 : lo] = NI  # cell left of the band is dead
         else:
             np.maximum(H[wd] + sub, H[w] + g, out=cand[w])
-        if lo == 1:  # the border column is still reachable
-            cand[0] = (go + ge * i) if affine else (g * i)
+        if lo == 1 and i <= band:
+            # Border column cell (i, 0) — only while it lies inside the
+            # band; writing it for i ≤ band+1 (as `lo == 1` alone would)
+            # leaks out-of-band border paths into the scan.
+            if semiglobal:
+                cand[0] = 0
+            else:
+                cand[0] = (go + ge * i) if affine else (g * i)
         scan = np.maximum.accumulate(cand[lo - 1 : hi + 1] + ramp[lo - 1 : hi + 1])
         if affine:
             F = np.empty(hi - lo + 2, dtype=np.int64)
-            F[0] = NEG_INF // 2
+            F[0] = NI
             F[1:] = scan[:-1] + go - ramp[w]
-            H[lo - 1 : hi + 1] = np.maximum(cand[lo - 1 : hi + 1], np.maximum(F, NEG_INF // 2))
+            H[lo - 1 : hi + 1] = np.maximum(cand[lo - 1 : hi + 1], np.maximum(F, NI))
         else:
             H[lo - 1 : hi + 1] = scan - ramp[lo - 1 : hi + 1]
         if lo > 1:
-            H[lo - 1] = NEG_INF // 2  # outside the band
-    return int(H[m])
+            H[lo - 1] = NI  # outside the band
+        if semiglobal and hi == m:
+            best_tail = max(best_tail, int(H[m]))
+    if not semiglobal:
+        return int(H[m])
+    # Free tails: the optimum may end anywhere in the last row (trailing
+    # subject unaligned) or the last column (trailing query unaligned).
+    lo = max(1, n - band)
+    if lo <= m:
+        hi = min(m, n + band)
+        # H[lo-1] is the (possibly bordered) leftmost in-band cell: 0 when
+        # column 0 is in band at row n, −∞ otherwise — safe to include.
+        best_tail = max(best_tail, int(H[lo - 1 : hi + 1].max()))
+    return best_tail

@@ -19,11 +19,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.stages import Batch, Request
 from repro.sched.tilegraph import TileGraph, TileGrid
-from repro.util.checks import ValidationError
+from repro.util.checks import ValidationError, check_positive
 from repro.util.encoding import encode
 
-__all__ = ["ShapeBucket", "encode_pairs", "group_by_shape", "request_graph"]
+__all__ = [
+    "ShapeBucket",
+    "ShapeBatcher",
+    "encode_pairs",
+    "group_by_shape",
+    "request_graph",
+]
 
 
 @dataclass
@@ -67,6 +74,45 @@ def group_by_shape(enc_q: list, enc_s: list) -> list[ShapeBucket]:
             )
         )
     return out
+
+
+class ShapeBatcher:
+    """Incremental shape-bucketed batcher stage (streaming counterpart of
+    :func:`group_by_shape`).
+
+    Requests accumulate per DP extent ``(n, m)``; a bucket reaching
+    ``max_lanes`` members is emitted as a full lane :class:`Batch`, and
+    :meth:`flush` drains the partial remainders (the pipeline calls it at
+    end-of-stream and under backpressure).  ``max_lanes=1`` degrades to
+    pass-through batching for backends without lane support.
+    """
+
+    def __init__(self, max_lanes: int = 64):
+        self.max_lanes = check_positive(max_lanes, "max_lanes")
+        self._groups: dict = {}
+        self._pending = 0
+
+    def add(self, request: Request):
+        shape = (int(request.query.size), int(request.subject.size))
+        group = self._groups.setdefault(shape, [])
+        group.append(request)
+        self._pending += 1
+        if len(group) >= self.max_lanes:
+            del self._groups[shape]
+            self._pending -= len(group)
+            return (Batch(shape=shape, requests=group),)
+        return ()
+
+    def flush(self):
+        out = [Batch(shape=shape, requests=group) for shape, group in self._groups.items()]
+        self._groups.clear()
+        self._pending = 0
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Requests buffered in partial buckets (backpressure signal)."""
+        return self._pending
 
 
 def request_graph(enc_q: list, enc_s: list) -> TileGraph:

@@ -1,18 +1,25 @@
-"""The batched execution engine: the serving-path frontend.
+"""The execution engine: the serving-path frontend over the stage pipeline.
 
-:class:`ExecutionEngine` accepts request batches and runs them through
-shape bucketing (:mod:`repro.engine.batching`), per-parameterisation plan
+:class:`ExecutionEngine` wires the composable streaming stages of
+:mod:`repro.engine.stages` — shape batching
+(:class:`~repro.engine.batching.ShapeBatcher`), per-parameterisation plan
 caching (:mod:`repro.engine.plans`, layered on the staged kernel cache),
-and the lane-blocked thread-pooled executor
-(:mod:`repro.engine.executor`).  Every name in
-:data:`repro.core.aligner.BACKEND_FACTORIES` — plus the inline kernel
-strategies and ``auto`` — is accepted per engine or per call; ``auto``
-re-selects for each batch from the declared backend capabilities and the
-batch shape.
+and the thread-pooled executor (:mod:`repro.engine.executor`) — into the
+two serving regimes:
 
-This is the layer later scaling work (async serving, sharding, streaming
-FASTA pipelines) builds on; ``Aligner`` remains the convenient single-pair
-frontend over the same registry.
+* **batch**: :meth:`submit_batch` / :meth:`align_batch`, plus the thin
+  compatibility wrapper :meth:`run` over materialized request lists;
+* **stream**: :meth:`stream` yields ``(key, score)`` pairs as lane blocks
+  complete while the input is still being consumed, and :meth:`pipeline`
+  assembles a custom :class:`~repro.engine.stages.StreamPipeline` (the
+  query-vs-database scanner in :mod:`repro.search` builds on it).
+
+Every name in :data:`repro.core.aligner.BACKEND_FACTORIES` — plus the
+inline kernel strategies and ``auto`` — is accepted per engine or per
+call; ``auto`` re-selects for each batch from the declared backend
+capabilities and the batch shape.  Engines are context-manager safe:
+``with ExecutionEngine(...) as eng`` shuts the worker pool down
+deterministically, and ``close()`` is idempotent.
 """
 
 from __future__ import annotations
@@ -25,10 +32,12 @@ import numpy as np
 from repro.core.backend import available_backends, normalize_name, select_backend
 from repro.core.scoring import default_scheme
 from repro.core.types import AlignmentScheme
-from repro.engine.batching import encode_pairs
-from repro.engine.executor import BatchExecutor, ExecStats
+from repro.engine.batching import ShapeBatcher, encode_pairs
+from repro.engine.executor import BatchExecutor, ExecStats, PlanExecutorStage
 from repro.engine.plans import PlanCache, global_plan_cache
+from repro.engine.stages import PipelineStats, Request, ScoreCollector, StreamPipeline
 from repro.util.checks import check_in
+from repro.util.encoding import encode
 
 __all__ = ["ExecutionEngine", "EngineStats"]
 
@@ -39,6 +48,7 @@ class EngineStats:
 
     batches: int = 0
     exec: ExecStats = field(default_factory=ExecStats)
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
     backends_used: dict = field(default_factory=dict)
     _lock: object = field(default_factory=threading.Lock, repr=False)
 
@@ -47,9 +57,18 @@ class EngineStats:
             self.batches += 1
             self.backends_used[backend] = self.backends_used.get(backend, 0) + 1
 
+    def absorb(self, ps: PipelineStats):
+        """Fold one pipeline run into the cumulative accounting."""
+        with self._lock:
+            self.pipeline.merge(ps)
+            self.exec.pairs += ps.pairs
+            self.exec.cells += ps.cells_computed
+            self.exec.lane_blocks += ps.lane_blocks
+            self.exec.scalar_pops += ps.scalar_pops
+
 
 class ExecutionEngine:
-    """Batched scoring/alignment over any registered backend.
+    """Batched + streaming scoring/alignment over any registered backend.
 
     Parameters
     ----------
@@ -60,10 +79,13 @@ class ExecutionEngine:
     dtype:
         Score width for the staged kernel paths.
     max_workers / lanes:
-        Executor sizing: worker threads and the vector-block width the
-        scheduler tries to fill per pop.
+        Executor sizing: worker threads and the vector-block width a lane
+        batch is filled to.
     plan_cache:
         Plan cache to layer on (defaults to the process-wide cache).
+    max_in_flight:
+        Streaming backpressure budget: at most this many admitted requests
+        are buffered in partial lane batches before a forced flush.
     """
 
     def __init__(
@@ -74,13 +96,31 @@ class ExecutionEngine:
         max_workers: int | None = None,
         lanes: int = 64,
         plan_cache: PlanCache | None = None,
+        max_in_flight: int = 4096,
     ):
         self.scheme = scheme if scheme is not None else default_scheme()
         self.backend = check_in(backend, available_backends(), "backend")
         self.dtype = np.dtype(dtype)
         self.executor = BatchExecutor(max_workers=max_workers, lanes=lanes)
         self.plan_cache = plan_cache if plan_cache is not None else global_plan_cache
+        self.max_in_flight = max_in_flight
         self.stats = EngineStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self.executor.closed
+
+    def close(self):
+        """Shut the worker pool down deterministically (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # -- planning ----------------------------------------------------------
     def _resolve(self, backend, enc_q, enc_s, need_traceback=False) -> str:
@@ -106,6 +146,49 @@ class ExecutionEngine:
             name = select_backend(self.scheme, pairs=pairs, extent=extent)
         return self.plan_cache.get_or_build(self.scheme, name, self.dtype)
 
+    # -- pipeline assembly --------------------------------------------------
+    def pipeline(
+        self,
+        source,
+        *,
+        stage,
+        reducer,
+        prefilter=None,
+        batcher=None,
+        max_in_flight: int | None = None,
+        stats: PipelineStats | None = None,
+    ) -> StreamPipeline:
+        """Assemble a :class:`StreamPipeline` on this engine's executor.
+
+        The engine contributes the shared thread pool and default shape
+        batcher; callers supply the source, the executor stage (e.g. a
+        :class:`~repro.engine.executor.PlanExecutorStage` from
+        :meth:`plan_for`, or the banded verify stage of
+        :mod:`repro.search`), and the reducer.
+        """
+        return StreamPipeline(
+            source,
+            prefilter=prefilter,
+            batcher=batcher if batcher is not None else ShapeBatcher(self.executor.lanes),
+            stage=stage,
+            reducer=reducer,
+            executor=self.executor,
+            max_in_flight=max_in_flight if max_in_flight is not None else self.max_in_flight,
+            stats=stats,
+        )
+
+    def _score_pipeline(self, plan, requests, out: np.ndarray) -> PipelineStats:
+        """Drive a request source through batcher → plan executor → collector."""
+        pipe = self.pipeline(
+            requests,
+            stage=PlanExecutorStage(plan),
+            reducer=ScoreCollector(out),
+            batcher=ShapeBatcher(self.executor.lanes if plan.lane_batching else 1),
+        )
+        ps = pipe.drain()
+        self.stats.absorb(ps)
+        return ps
+
     # -- request entry points ----------------------------------------------
     def submit_batch(self, queries, subjects, backend: str | None = None) -> np.ndarray:
         """Scores for many independent pairs (the serving hot path)."""
@@ -115,7 +198,76 @@ class ExecutionEngine:
         name = self._resolve(backend, enc_q, enc_s)
         plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
         self.stats.record(name)
-        return self.executor.run_scores(plan, enc_q, enc_s, self.stats.exec)
+        out = np.empty(len(enc_q), dtype=np.int64)
+        requests = (
+            Request(key=k, query=q, subject=s) for k, (q, s) in enumerate(zip(enc_q, enc_s))
+        )
+        self._score_pipeline(plan, requests, out)
+        return out
+
+    def run(self, requests, backend: str | None = None) -> np.ndarray:
+        """Compatibility wrapper: score a materialized request batch.
+
+        ``requests`` is a sequence of ``(query, subject)`` pairs or
+        :class:`~repro.engine.stages.Request` objects; returns scores in
+        request order via the same streaming pipeline as everything else.
+        """
+        requests = list(requests)
+        queries, subjects = [], []
+        for item in requests:
+            if isinstance(item, Request):
+                queries.append(item.query)
+                subjects.append(item.subject)
+            else:
+                q, s = item
+                queries.append(q)
+                subjects.append(s)
+        return self.submit_batch(queries, subjects, backend)
+
+    def stream(self, pairs, backend: str | None = None):
+        """Score a stream of ``(query, subject)`` pairs incrementally.
+
+        A generator yielding ``(index, score)`` as lane blocks fill and
+        complete — input is consumed lazily with the engine's
+        ``max_in_flight`` backpressure budget, so the stream may be far
+        larger than memory.  Yield order follows block completion, not
+        input order.  ``auto`` resolves against the streaming regime (many
+        pairs) from the first pair's extent.
+        """
+        it = iter(pairs)
+        try:
+            first = next(it)
+        except StopIteration:
+            return
+        q0, s0 = encode(first[0]), encode(first[1])
+        name = backend if backend is not None else self.backend
+        check_in(name, available_backends(), "backend")
+        name = normalize_name(name)
+        if name == "auto":
+            # A stream is the many-pairs regime by definition; extent from
+            # the first pair is the only shape information available.
+            name = select_backend(
+                self.scheme, pairs=1 << 20, extent=max(q0.size, s0.size)
+            )
+        plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
+        self.stats.record(name)
+
+        def requests():
+            yield Request(key=0, query=q0, subject=s0)
+            for k, (q, s) in enumerate(it, start=1):
+                yield Request(key=k, query=encode(q), subject=encode(s))
+
+        out = _NullSink()
+        pipe = self.pipeline(
+            requests(),
+            stage=PlanExecutorStage(plan),
+            reducer=ScoreCollector(out),
+            batcher=ShapeBatcher(self.executor.lanes if plan.lane_batching else 1),
+        )
+        try:
+            yield from pipe.run()
+        finally:
+            self.stats.absorb(pipe.stats)
 
     def align_batch(self, queries, subjects, backend: str | None = None) -> list:
         """Full alignments for many pairs, pair-parallel across threads."""
@@ -140,3 +292,17 @@ class ExecutionEngine:
             f"ExecutionEngine({at}, backend={self.backend!r}, "
             f"workers={self.executor.max_workers}, lanes={self.executor.lanes})"
         )
+
+
+class _NullSink:
+    """No-op stand-in for the collector's output array in streams.
+
+    Stream results reach the caller through the collector's ``(key,
+    score)`` emissions; storing them as well would grow without bound on
+    unbounded streams.
+    """
+
+    __slots__ = ()
+
+    def __setitem__(self, key, value):
+        pass

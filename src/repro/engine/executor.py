@@ -1,29 +1,44 @@
-"""Thread-pooled batch executor driven by the wavefront scheduler.
+"""Thread-pooled batch execution: the pipeline's Executor stage machinery.
 
-Cross-pair parallelism reuses
-:class:`~repro.sched.dynamic.DynamicWavefrontScheduler` verbatim: each
+:class:`BatchExecutor` owns one persistent ``ThreadPoolExecutor`` shared by
+every batch and every pipeline of an engine: lane blocks are submitted as
+tasks, NumPy releases the GIL inside ufuncs so block relaxations overlap.
+The pool is created lazily on first use and shut down *deterministically* —
+``close()`` (idempotent) or ``with BatchExecutor(...)``; a dropped executor
+closes itself via ``__del__`` instead of leaking worker threads until
+interpreter exit.
+
+:class:`PlanExecutorStage` adapts an
+:class:`~repro.engine.plans.ExecutionPlan` to the pipeline's
+:class:`~repro.engine.stages.ExecutorStage` protocol (full-DP lane blocks);
+the banded verification stage of :mod:`repro.search` implements the same
+protocol over :func:`repro.core.banded.banded_score`.
+
+The scheduler-driven entry points (:meth:`BatchExecutor.run_scores` /
+:meth:`run_aligns`) remain: they reuse
+:class:`~repro.sched.dynamic.DynamicWavefrontScheduler` verbatim — each
 request becomes a single-tile grid (see
 :func:`repro.engine.batching.request_graph`), so the scheduler's
-shape-grouped queue hands workers *lane blocks of same-shape pairs* — the
+shape-grouped queue hands workers lane blocks of same-shape *pairs* — the
 identical pop-a-vector-block-else-fall-back-to-scalar logic the paper uses
-for submatrices, applied one level up.  Workers are plain threads, as in
-:class:`repro.cpu.wavefront.WavefrontAligner`; NumPy releases the GIL
-inside ufuncs so lane-block relaxations overlap.
+for submatrices, applied one level up.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.batching import request_graph
+from repro.engine.stages import Batch
 from repro.sched.dynamic import DynamicWavefrontScheduler
-from repro.util.checks import check_positive
+from repro.util.checks import ReproError, check_positive
 
-__all__ = ["BatchExecutor", "ExecStats"]
+__all__ = ["BatchExecutor", "ExecStats", "PlanExecutorStage"]
 
 
 @dataclass
@@ -42,8 +57,31 @@ class ExecStats:
         self.scalar_pops += other.scalar_pops
 
 
+class PlanExecutorStage:
+    """Executor stage: one plan, full-DP lane blocks (or per-pair scores)."""
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def execute(self, batch: Batch) -> np.ndarray:
+        if len(batch) > 1:
+            qs, ss = batch.stacked()
+            return np.asarray(self.plan.score_block(qs, ss), dtype=np.int64)
+        req = batch.requests[0]
+        return np.array([self.plan.score_one(req.query, req.subject)], dtype=np.int64)
+
+    def cells_of(self, batch: Batch) -> tuple[int, int]:
+        return batch.cells, 0
+
+
 class BatchExecutor:
-    """Runs one plan over a request batch with lane blocking + threads."""
+    """Thread pool + lane blocking shared by every execution path.
+
+    Context-manager safe: ``with BatchExecutor(...) as ex`` shuts the pool
+    down deterministically on exit, ``close()`` is an idempotent no-op the
+    second time, and submitting to a closed executor raises
+    :class:`~repro.util.checks.ReproError`.
+    """
 
     def __init__(self, max_workers: int | None = None, lanes: int = 64):
         if max_workers is None:
@@ -53,7 +91,53 @@ class BatchExecutor:
         # Guards stats mutation across workers AND across concurrent
         # run_scores/run_aligns calls sharing one stats object.
         self._stats_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
 
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise ReproError("executor is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-exec"
+                )
+            return self._pool
+
+    def submit(self, fn, /, *args):
+        """Run ``fn(*args)`` on the shared pool; returns its future."""
+        return self._ensure_pool().submit(fn, *args)
+
+    def close(self):
+        """Shut the pool down; double-close is a no-op."""
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # backstop only; deterministic paths call close()
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- scheduler-driven batch runs ---------------------------------------
     def _drain(self, sched, pop, plan, enc_q, enc_s, out, stats, lock):
         while True:
             block = pop()
@@ -77,6 +161,8 @@ class BatchExecutor:
 
     def run_scores(self, plan, enc_q: list, enc_s: list, stats: ExecStats | None = None) -> np.ndarray:
         """Scores for encoded pairs; lane-blocked, thread-pooled."""
+        if self._closed:
+            raise ReproError("executor is closed")
         count = len(enc_q)
         out = np.empty(count, dtype=np.int64)
         if count == 0:
@@ -97,30 +183,24 @@ class BatchExecutor:
             self._drain(sched, sched.try_pop, plan, enc_q, enc_s, out, stats, lock)
             return out
 
-        errors: list[BaseException] = []
-
-        def worker():
-            try:
-                # The request pool is dependency-free: completing a block
-                # never readies new work, so non-blocking pops drain it
-                # fully and a failing peer cannot stall anyone.
-                self._drain(
-                    sched, sched.try_pop, plan, enc_q, enc_s, out, stats, lock
-                )
-            except BaseException as exc:  # surface worker failures
-                errors.append(exc)
-
-        threads = [threading.Thread(target=worker) for _ in range(workers)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise errors[0]
+        # The request pool is dependency-free: completing a block never
+        # readies new work, so non-blocking pops drain it fully and a
+        # failing peer cannot stall anyone.
+        futures = [
+            self.submit(
+                self._drain, sched, sched.try_pop, plan, enc_q, enc_s, out, stats, lock
+            )
+            for _ in range(workers)
+        ]
+        wait(futures)
+        for f in futures:
+            f.result()  # re-raise the first worker failure, if any
         return out
 
     def run_aligns(self, plan, enc_q: list, enc_s: list, stats: ExecStats | None = None) -> list:
         """Full alignments; pair-parallel across threads (no lanes)."""
+        if self._closed:
+            raise ReproError("executor is closed")
         count = len(enc_q)
         if count == 0:
             return []
@@ -139,26 +219,19 @@ class BatchExecutor:
 
         cursor = {"next": 0}
         lock = self._stats_lock
-        errors: list[BaseException] = []
 
         def worker():
-            try:
-                while True:
-                    with lock:
-                        k = cursor["next"]
-                        if k >= count:
-                            return
-                        cursor["next"] = k + 1
-                        stats.scalar_pops += 1
-                    out[k] = plan.align_one(enc_q[k], enc_s[k])
-            except BaseException as exc:
-                errors.append(exc)
+            while True:
+                with lock:
+                    k = cursor["next"]
+                    if k >= count:
+                        return
+                    cursor["next"] = k + 1
+                    stats.scalar_pops += 1
+                out[k] = plan.align_one(enc_q[k], enc_s[k])
 
-        threads = [threading.Thread(target=worker) for _ in range(workers)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise errors[0]
+        futures = [self.submit(worker) for _ in range(workers)]
+        wait(futures)
+        for f in futures:
+            f.result()
         return out

@@ -72,6 +72,18 @@ class ExecutionPlan:
             return np.asarray(worker.score_batch(list(qs), list(ss)), dtype=np.int64)
         return np.array([worker.score(q, s) for q, s in zip(qs, ss)], dtype=np.int64)
 
+    def score_banded(self, q: np.ndarray, s: np.ndarray, band: int, widen: bool = False) -> int:
+        """Band-constrained score (the search pipeline's verify path)."""
+        if not self.caps.banded:
+            from repro.util.checks import ValidationError
+
+            raise ValidationError(
+                f"backend {self.backend!r} does not support banded scoring"
+            )
+        from repro.core.banded import banded_score
+
+        return banded_score(q, s, self.scheme, band, widen=widen)
+
     def align_one(self, q: np.ndarray, s: np.ndarray):
         return self._worker().align(q, s)
 

@@ -2,10 +2,17 @@
 
 from repro.perf.gcups import Measurement, measure_gcups
 from repro.perf.energy import DEVICE_POWER, DevicePower, EnergyRow, energy_table
-from repro.perf.report import CodeSharing, cache_stats_table, code_sharing, format_table
+from repro.perf.report import (
+    CodeSharing,
+    cache_stats_table,
+    code_sharing,
+    format_table,
+    pipeline_stats_table,
+)
 
 __all__ = [
     "cache_stats_table",
+    "pipeline_stats_table",
     "Measurement",
     "measure_gcups",
     "DEVICE_POWER",

@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["format_table", "code_sharing", "cache_stats_table", "CodeSharing"]
+__all__ = [
+    "format_table",
+    "code_sharing",
+    "cache_stats_table",
+    "pipeline_stats_table",
+    "CodeSharing",
+]
 
 
 def format_table(headers, rows, title: str = "") -> str:
@@ -77,6 +83,52 @@ def cache_stats_table(plan_cache=None, engine=None) -> str:
     return out
 
 
+def pipeline_stats_table(stats, title: str = "Streaming pipeline") -> str:
+    """Per-stage timing plus prefilter/band work-avoidance accounting.
+
+    ``stats`` is a :class:`repro.engine.stages.PipelineStats`.  The first
+    table times each stage (source, prefilter, batch, execute, reduce);
+    the second summarises what the pipeline *did not* have to compute:
+    candidates rejected before DP, cells skipped by the prefilter, cells
+    skipped by banding, and the effective GCUPS over relaxed cells.
+    """
+    stage_rows = []
+    for name, st in stats.stages.items():
+        if st.calls == 0 and st.items == 0:
+            continue
+        rate = f"{st.items / st.seconds:,.0f}" if st.seconds > 0 and st.items else "-"
+        stage_rows.append(
+            (name, st.calls, st.items, f"{st.seconds * 1e3:.1f}", rate)
+        )
+    out = format_table(
+        ("stage", "calls", "items", "ms", "items/s"), stage_rows, title=title
+    )
+    total_cells = stats.cells_computed + stats.cells_skipped
+    summary = format_table(
+        ("metric", "value"),
+        [
+            ("reference items scanned", stats.items_in),
+            ("candidate pairs", stats.candidates),
+            ("admitted / rejected", f"{stats.admitted} / {stats.rejected}"),
+            ("prefilter rejection rate", f"{100 * stats.rejection_rate:.1f}%"),
+            ("batches (lane / scalar)", f"{stats.lane_blocks} / {stats.scalar_pops}"),
+            ("pairs verified", stats.pairs),
+            ("cells computed", stats.cells_computed),
+            ("cells skipped (prefilter)", stats.cells_skipped_prefilter),
+            ("cells skipped (band)", stats.cells_skipped_band),
+            (
+                "work avoided",
+                f"{100 * stats.cells_skipped / total_cells:.1f}%" if total_cells else "-",
+            ),
+            ("effective GCUPS", f"{stats.gcups:.4f}"),
+            ("backpressure flushes", stats.flushes),
+            ("max buffered requests", stats.max_buffered),
+        ],
+        title="Work accounting",
+    )
+    return out + "\n\n" + summary
+
+
 #: Subsystem classification: which top-level repro subpackages are
 #: specific to which execution target (mirroring the paper's breakdown;
 #: benchmarking/I/O/workload code is excluded like the paper excludes its
@@ -89,6 +141,7 @@ _CLASSIFICATION = {
     "stage": "shared",
     "sched": "shared",
     "engine": "shared",
+    "search": "shared",
     "baselines": None,  # comparators, not part of the library proper
     "workloads": None,  # supporting code (the paper excludes it too)
     "perf": None,

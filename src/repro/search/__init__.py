@@ -1,0 +1,33 @@
+"""repro.search — streaming query-vs-database search on the stage pipeline.
+
+Seed-and-verify over chunked references: a k-mer prefilter rejects most
+(query, window) candidates before a band-constrained semiglobal DP scores
+the survivors into bounded per-query top-K heaps.  Results stream while
+the database is still being scanned.  See :func:`search` for the entry
+point and :func:`exhaustive_topk` for the full-DP oracle.
+"""
+
+from repro.search.pipeline import (
+    BandedVerifyStage,
+    SearchRun,
+    default_search_scheme,
+    exhaustive_topk,
+    search,
+    search_topk,
+)
+from repro.search.seeds import QueryIndex, SeedPrefilter, kmer_codes
+from repro.search.topk import Hit, TopKReducer
+
+__all__ = [
+    "BandedVerifyStage",
+    "SearchRun",
+    "default_search_scheme",
+    "exhaustive_topk",
+    "search",
+    "search_topk",
+    "QueryIndex",
+    "SeedPrefilter",
+    "kmer_codes",
+    "Hit",
+    "TopKReducer",
+]

@@ -1,0 +1,343 @@
+"""Streaming query-vs-database search: scan → seed → banded verify → top-K.
+
+The paper's system scores pre-materialized pairs; real deployments (read
+mapping, database search) are *streams* — references are scanned
+incrementally, most candidates are rejected by a cheap k-mer seed test,
+and only the survivors pay banded DP.  This module composes those steps
+from the engine's stage pipeline (:mod:`repro.engine.stages`):
+
+::
+
+    chunk_records / chunk_sequence          (Source: reference windows)
+        → SeedPrefilter(QueryIndex)         (Prefilter: shared k-mers)
+        → ShapeBatcher                      (Batcher: same-shape lanes)
+        → BandedVerifyStage                 (Executor: core.banded sweep)
+        → TopKReducer                       (Reducer: bounded per-query heaps)
+
+:func:`search` returns a :class:`SearchRun` — iterating it drives the
+pipeline with backpressure (at most ``max_in_flight`` admitted candidates
+buffered) and yields :class:`~repro.search.topk.Hit` events as verify
+batches drain, *while the reference is still being scanned*.  Streamed
+hits are admissions into the then-current top-K; a later, better hit can
+still evict one, so :meth:`SearchRun.topk` is the authoritative final
+answer.  :func:`exhaustive_topk` is the full-DP oracle (every pair, no
+prefilter, no band) with the identical retention rule, used by the tests
+and as the benchmark baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.banded import band_cells
+from repro.core.scoring import linear_gap_scoring, semiglobal_scheme, simple_subst_scoring
+from repro.core.types import AlignmentScheme, AlignmentType
+from repro.engine.batching import ShapeBatcher
+from repro.engine.engine import ExecutionEngine
+from repro.engine.executor import PlanExecutorStage
+from repro.engine.stages import Batch, PipelineStats
+from repro.search.seeds import QueryIndex, SeedPrefilter
+from repro.search.topk import Hit, TopKReducer
+from repro.util.checks import ValidationError, check_positive
+from repro.util.encoding import encode
+from repro.workloads.chunks import Chunk, chunk_records, chunk_sequence
+
+__all__ = [
+    "BandedVerifyStage",
+    "SearchRun",
+    "default_search_scheme",
+    "exhaustive_topk",
+    "search",
+    "search_topk",
+]
+
+
+def default_search_scheme() -> AlignmentScheme:
+    """Semiglobal +2/−1 match/mismatch, linear gap −1.
+
+    Semiglobal (free end gaps) is the natural mode for placing a query
+    inside a longer reference window; the scoring mirrors the library's
+    default global scheme.
+    """
+    return semiglobal_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+
+
+class BandedVerifyStage:
+    """Executor stage: band-constrained semiglobal verification.
+
+    The band bounds the query's placement offset inside the window plus
+    indel drift; cells outside it are never relaxed, and
+    :meth:`cells_of` reports exactly how many were skipped versus full DP.
+
+    With ``band=None`` (the default) the band is derived *per batch* from
+    the actual DP extent: ``|m − n| + band_pad`` covers every full-query
+    placement offset inside a window of any width — including databases
+    supplied as pre-windowed chunk iterators, whose chunk width the
+    frontend never sees.  An explicit ``band`` is used as-is (auto-widened
+    to feasibility for global schemes).
+    """
+
+    def __init__(self, plan, band: int | None = None, band_pad: int = 16):
+        self.plan = plan
+        self.band = band
+        self.band_pad = band_pad
+
+    def band_for(self, shape: tuple[int, int]) -> int:
+        if self.band is not None:
+            return self.band
+        n, m = shape
+        return abs(m - n) + self.band_pad
+
+    def execute(self, batch: Batch) -> np.ndarray:
+        band = self.band_for(batch.shape)
+        return np.array(
+            [
+                self.plan.score_banded(r.query, r.subject, band, widen=True)
+                for r in batch.requests
+            ],
+            dtype=np.int64,
+        )
+
+    def cells_of(self, batch: Batch) -> tuple[int, int]:
+        n, m = batch.shape
+        band = max(self.band_for(batch.shape), abs(n - m))  # widen, as execute does
+        computed = band_cells(n, m, band) * len(batch)
+        return computed, batch.cells - computed
+
+
+class SearchRun:
+    """A driving handle over one streaming search.
+
+    Iterate to receive :class:`Hit` admissions as the database scan and
+    verification overlap; call :meth:`topk` for the final per-query
+    results (drains whatever is left first).  ``stats`` is the live
+    :class:`~repro.engine.stages.PipelineStats`.
+
+    If :func:`search` created the engine itself, the run owns it: the
+    worker pool is closed deterministically when the stream is exhausted
+    (or via :meth:`close` / ``with search(...) as run``), not left to GC.
+    """
+
+    def __init__(self, pipeline, reducer: TopKReducer, queries: list, owned_engine=None):
+        self.pipeline = pipeline
+        self.reducer = reducer
+        self.queries = queries
+        self._owned_engine = owned_engine
+        self._iter = pipeline.run()
+        self._exhausted = False
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    def close(self):
+        """Release the run's private engine, if any (idempotent)."""
+        eng, self._owned_engine = self._owned_engine, None
+        if eng is not None:
+            eng.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Hit:
+        try:
+            return next(self._iter)
+        except StopIteration:
+            self._exhausted = True
+            self.close()
+            raise
+
+    def topk(self) -> list[list[Hit]]:
+        """Final per-query hits, best first (drains the stream if needed)."""
+        if not self._exhausted:
+            for _ in self._iter:
+                pass
+            self._exhausted = True
+            self.close()
+        return self.reducer.results()
+
+    def report(self) -> str:
+        """Per-stage timing + rejection/cells table (perf.report format)."""
+        from repro.perf.report import pipeline_stats_table
+
+        return pipeline_stats_table(self.stats, title="Search pipeline")
+
+
+def _chunk_source(database, window: int, overlap: int):
+    """Normalize a database argument into a Chunk iterator."""
+    if hasattr(database, "__next__"):  # already an iterator (of Chunks)
+        return database
+    if isinstance(database, Chunk):
+        return iter([database])
+    if isinstance(database, (list, tuple)) and database:
+        if isinstance(database[0], Chunk):  # pre-windowed chunk list
+            return iter(database)
+        if hasattr(database[0], "sequence"):  # FastaRecord list
+            return chunk_records(database, window, overlap)
+    if hasattr(database, "sequence"):  # single FastaRecord
+        return chunk_records([database], window, overlap)
+    return chunk_sequence(database, window, overlap)
+
+
+def search(
+    queries,
+    database,
+    *,
+    k: int = 10,
+    scheme: AlignmentScheme | None = None,
+    kmer: int = 11,
+    min_seeds: int = 2,
+    window: int | None = None,
+    overlap: int | None = None,
+    band: int | None = None,
+    band_pad: int = 16,
+    min_score: int | None = None,
+    verify: str = "banded",
+    engine: ExecutionEngine | None = None,
+    max_in_flight: int = 2048,
+) -> SearchRun:
+    """Stream top-K placements of each query against a reference database.
+
+    Parameters
+    ----------
+    queries:
+        Sequences (str or encoded arrays); all must be ≥ ``kmer`` long.
+    database:
+        Encoded array / str sequence, FastaRecord(s), or an iterator of
+        :class:`~repro.workloads.chunks.Chunk` objects (already windowed).
+    k / min_score:
+        Retention: at most ``k`` hits per query, optionally only those
+        scoring ≥ ``min_score``.
+    kmer / min_seeds:
+        Seed prefilter: candidates must share ≥ ``min_seeds`` distinct
+        k-mers with the window.
+    window / overlap:
+        Reference windowing; defaults to ``2·max(len(query))`` windows
+        overlapping by ``max(len(query)) + band_pad`` so no placement is
+        lost at a boundary.  Ignored for pre-windowed chunk databases.
+    band / band_pad:
+        Verification band.  ``band=None`` (default) derives it per batch
+        from the actual (query, window) extent — ``|m − n| + band_pad`` —
+        covering every full-query placement offset plus indel drift, even
+        for pre-windowed chunks of any width; an explicit ``band`` is
+        used as-is.
+    verify:
+        ``"banded"`` (default) or ``"full"`` (exact full-DP verification).
+    engine:
+        An :class:`ExecutionEngine` to run on (shares its thread pool and
+        plan cache); a private one is created otherwise.
+    max_in_flight:
+        Backpressure budget: admitted-but-unverified candidates.
+    """
+    scheme = scheme if scheme is not None else default_search_scheme()
+    if scheme.alignment_type is AlignmentType.LOCAL:
+        raise ValidationError("search verification supports global/semiglobal schemes")
+    if verify not in ("banded", "full"):
+        raise ValidationError(f"verify must be 'banded' or 'full', got {verify!r}")
+    check_positive(k, "k")
+    index = QueryIndex(queries, k=kmer)
+    qmax = int(index.lengths.max())
+    if window is None:
+        window = 2 * qmax
+    check_positive(window, "window")
+    if window < qmax:
+        raise ValidationError(
+            f"window {window} is smaller than the longest query ({qmax})"
+        )
+    if overlap is None:
+        overlap = min(window - 1, qmax + band_pad)
+    owned_engine = None
+    if engine is None:
+        engine = owned_engine = ExecutionEngine(scheme, backend="rowscan")
+    elif engine.scheme is not scheme and engine.scheme != scheme:
+        raise ValidationError("engine scheme does not match the search scheme")
+    plan = engine.plan_for("rowscan")
+    if verify == "banded":
+        stage = BandedVerifyStage(plan, band, band_pad=band_pad)
+    else:
+        stage = PlanExecutorStage(plan)  # exact full-DP verification
+    reducer = TopKReducer(len(index), k=k, min_score=min_score)
+    pipe = engine.pipeline(
+        _chunk_source(database, window, overlap),
+        prefilter=SeedPrefilter(index, min_seeds=min_seeds),
+        batcher=ShapeBatcher(engine.executor.lanes),
+        stage=stage,
+        reducer=reducer,
+        max_in_flight=max_in_flight,
+    )
+    return SearchRun(pipe, reducer, index.queries, owned_engine=owned_engine)
+
+
+def search_topk(queries, database, **kwargs) -> list[list[Hit]]:
+    """Convenience: run :func:`search` to completion, return final top-K."""
+    return search(queries, database, **kwargs).topk()
+
+
+def exhaustive_topk(
+    queries,
+    database,
+    *,
+    k: int = 10,
+    scheme: AlignmentScheme | None = None,
+    window: int | None = None,
+    overlap: int | None = None,
+    band_pad: int = 16,
+    min_score: int | None = None,
+    engine: ExecutionEngine | None = None,
+    slab: int = 4096,
+) -> list[list[Hit]]:
+    """Full-DP oracle: score *every* (query, window) pair, same retention.
+
+    No prefilter, no band — each window is scored against each query with
+    the exact kernels via the engine's batch path (in bounded slabs), and
+    hits are retained by the identical ``(score, start, chunk)`` rule as
+    the streaming pipeline.  Quadratic in database size: the correctness
+    referee and benchmark baseline, not a serving path.
+    """
+    scheme = scheme if scheme is not None else default_search_scheme()
+    enc_q = [encode(q) for q in queries]
+    qmax = max(q.size for q in enc_q)
+    if window is None:
+        window = 2 * qmax
+    if overlap is None:
+        overlap = min(window - 1, qmax + band_pad)
+    owned_engine = None
+    if engine is None:
+        engine = owned_engine = ExecutionEngine(scheme, backend="rowscan")
+    reducer = TopKReducer(len(enc_q), k=k, min_score=min_score)
+
+    pending_q: list = []
+    pending_meta: list = []
+
+    def flush():
+        nonlocal pending_q, pending_meta
+        if not pending_q:
+            return
+        scores = engine.submit_batch(
+            pending_q, [chunk.sequence for _, chunk in pending_meta]
+        )
+        for (qid, chunk), score in zip(pending_meta, scores):
+            reducer.offer(qid, chunk, int(score))
+        pending_q, pending_meta = [], []
+
+    try:
+        for chunk in _chunk_source(database, window, overlap):
+            for qid, q in enumerate(enc_q):
+                pending_q.append(q)
+                pending_meta.append((qid, chunk))
+            if len(pending_q) >= slab:
+                flush()
+        flush()
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
+    return reducer.results()

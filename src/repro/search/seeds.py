@@ -1,0 +1,119 @@
+"""K-mer seed prefilter: the cheap rejection stage of seed-and-verify.
+
+Exact full-DP scoring of every query against every reference window is
+quadratic waste — real database search (BLAST-family, read mappers) first
+requires a handful of shared exact k-mers.  :class:`QueryIndex` builds a
+sorted table of every k-mer occurring in any query; per reference chunk,
+membership is one vectorized ``searchsorted`` over the chunk's distinct
+k-mers, and only the (rare) matching k-mers walk the owner lists in
+Python.  :class:`SeedPrefilter` adapts this to the pipeline's Prefilter
+protocol: it expands one :class:`~repro.workloads.chunks.Chunk` into
+candidate :class:`~repro.engine.stages.Request` objects for exactly the
+queries sharing at least ``min_seeds`` distinct k-mers with the window,
+and accounts every rejected (query, window) pair — the cells the verify
+stage never has to relax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.stages import Request
+from repro.util.checks import ValidationError, check_positive
+from repro.util.encoding import encode
+from repro.workloads.chunks import Chunk
+
+__all__ = ["kmer_codes", "QueryIndex", "SeedPrefilter"]
+
+#: 4^k must stay inside int64: k ≤ 31.
+MAX_K = 31
+
+
+def kmer_codes(sequence: np.ndarray, k: int) -> np.ndarray:
+    """All overlapping k-mers of an encoded sequence as base-4 integers."""
+    if not 1 <= k <= MAX_K:
+        raise ValidationError(f"k must be in [1, {MAX_K}], got {k}")
+    seq = np.asarray(sequence, dtype=np.uint8)
+    if seq.size < k:
+        return np.empty(0, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(seq, k)
+    powers = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    return windows.astype(np.int64) @ powers
+
+
+class QueryIndex:
+    """Inverted k-mer index over a query set.
+
+    ``kmers`` is the sorted array of every distinct k-mer occurring in any
+    query; ``owners[i]`` lists the query ids containing ``kmers[i]``.
+    """
+
+    def __init__(self, queries, k: int = 11):
+        self.k = k
+        self.queries = [encode(q) for q in queries]
+        for qid, q in enumerate(self.queries):
+            if q.size < k:
+                raise ValidationError(
+                    f"query {qid} is shorter ({q.size}) than the seed size k={k}"
+                )
+        self.lengths = np.array([q.size for q in self.queries], dtype=np.int64)
+        owners: dict = {}
+        for qid, q in enumerate(self.queries):
+            for km in np.unique(kmer_codes(q, k)):
+                owners.setdefault(int(km), []).append(qid)
+        self.kmers = np.array(sorted(owners), dtype=np.int64)
+        self.owners = [np.array(owners[int(km)], dtype=np.intp) for km in self.kmers]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def seed_counts(self, sequence: np.ndarray) -> np.ndarray:
+        """Distinct shared k-mers between ``sequence`` and each query."""
+        counts = np.zeros(len(self.queries), dtype=np.int64)
+        if self.kmers.size == 0:
+            return counts
+        sk = np.unique(kmer_codes(sequence, self.k))
+        if sk.size == 0:
+            return counts
+        idx = np.searchsorted(self.kmers, sk)
+        idx_c = np.minimum(idx, self.kmers.size - 1)
+        hits = idx_c[self.kmers[idx_c] == sk]
+        for i in hits:
+            counts[self.owners[i]] += 1
+        return counts
+
+
+class SeedPrefilter:
+    """Prefilter stage: Chunk → candidate Requests for seed-sharing queries.
+
+    Satisfies the :class:`repro.engine.stages.Prefilter` protocol; the
+    rejection counters feed the pipeline's cells-skipped accounting.
+    """
+
+    def __init__(self, index: QueryIndex, min_seeds: int = 2):
+        self.index = index
+        self.min_seeds = check_positive(min_seeds, "min_seeds")
+        self.candidates = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.rejected_cells = 0
+
+    def expand(self, chunk: Chunk) -> list[Request]:
+        counts = self.index.seed_counts(chunk.sequence)
+        passing = np.flatnonzero(counts >= self.min_seeds)
+        nq = len(self.index)
+        self.candidates += nq
+        self.admitted += int(passing.size)
+        self.rejected += nq - int(passing.size)
+        total_qlen = int(self.index.lengths.sum())
+        passing_qlen = int(self.index.lengths[passing].sum())
+        self.rejected_cells += (total_qlen - passing_qlen) * len(chunk)
+        return [
+            Request(
+                key=(int(qid), chunk.id),
+                query=self.index.queries[qid],
+                subject=chunk.sequence,
+                meta={"query_id": int(qid), "chunk": chunk, "seeds": int(counts[qid])},
+            )
+            for qid in passing
+        ]

@@ -1,0 +1,102 @@
+"""Bounded top-K reduction: per-query result heaps for database search.
+
+The reducer keeps at most ``k`` hits per query in a min-heap, so memory is
+O(queries · k) regardless of database size.  Retention is deterministic:
+hits are ranked by ``(score desc, start asc, chunk_id asc)`` — the same
+total order the exhaustive oracle uses — so a pipeline run and a full-DP
+sweep retain *identical* hit sets whenever their scores agree.
+
+Emissions stream: every hit that enters a query's current top-K is yielded
+from :meth:`TopKReducer.consume` the moment its batch is scored, which is
+what makes ``repro.search.search()`` an incremental iterator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.stages import Batch
+from repro.util.checks import check_positive
+
+__all__ = ["Hit", "TopKReducer"]
+
+
+@dataclass(slots=True)
+class Hit:
+    """One scored placement of a query inside a reference window."""
+
+    query_id: int
+    record: str  # reference record name
+    start: int  # window start offset in the record
+    end: int  # window end offset (exclusive)
+    score: int
+    chunk_id: int
+    seeds: int = 0  # distinct shared k-mers that admitted the candidate
+
+    def __repr__(self):
+        return (
+            f"Hit(q{self.query_id} {self.record}:{self.start}-{self.end} "
+            f"score={self.score})"
+        )
+
+
+def _rank(score: int, start: int, chunk_id: int) -> tuple:
+    """Heap rank: larger is better-retained; ties prefer earlier windows."""
+    return (score, -start, -chunk_id)
+
+
+class TopKReducer:
+    """Reducer stage: bounded per-query top-K with streaming admissions."""
+
+    def __init__(self, num_queries: int, k: int = 10, min_score: int | None = None):
+        self.k = check_positive(k, "k")
+        self.min_score = min_score
+        self._heaps: list[list] = [[] for _ in range(num_queries)]
+
+    def offer(self, query_id: int, chunk, score: int, seeds: int = 0) -> Hit | None:
+        """Consider one scored candidate; returns the Hit if it was retained."""
+        score = int(score)
+        if self.min_score is not None and score < self.min_score:
+            return None
+        heap = self._heaps[query_id]
+        rank = _rank(score, chunk.start, chunk.id)
+        if len(heap) >= self.k and rank <= heap[0][0]:
+            return None
+        hit = Hit(
+            query_id=query_id,
+            record=chunk.record,
+            start=chunk.start,
+            end=chunk.end,
+            score=score,
+            chunk_id=chunk.id,
+            seeds=seeds,
+        )
+        if len(heap) < self.k:
+            heapq.heappush(heap, (rank, hit))
+        else:
+            heapq.heapreplace(heap, (rank, hit))
+        return hit
+
+    # -- Reducer protocol --------------------------------------------------
+    def consume(self, batch: Batch, scores: np.ndarray):
+        for req, score in zip(batch.requests, scores):
+            meta = req.meta
+            hit = self.offer(
+                meta["query_id"], meta["chunk"], score, meta.get("seeds", 0)
+            )
+            if hit is not None:
+                yield hit
+
+    def finalize(self):
+        return ()
+
+    # -- results -----------------------------------------------------------
+    def results(self) -> list[list[Hit]]:
+        """Final per-query hits, best first (score desc, start asc)."""
+        return [
+            [hit for _, hit in sorted(heap, key=lambda e: e[0], reverse=True)]
+            for heap in self._heaps
+        ]

@@ -1,5 +1,7 @@
-"""Benchmark workload generation: genomes, reads, datasets, FASTA I/O."""
+"""Benchmark workload generation: genomes, reads, datasets, FASTA I/O,
+streaming reference chunking."""
 
+from repro.workloads.chunks import Chunk, chunk_records, chunk_sequence
 from repro.workloads.genomes import GenomePair, random_genome, related_pair
 from repro.workloads.mutate import MutationModel, mutate
 from repro.workloads.reads import IlluminaProfile, ReadSet, read_pairs, simulate_reads
@@ -18,6 +20,9 @@ from repro.workloads.datasets import (
 )
 
 __all__ = [
+    "Chunk",
+    "chunk_records",
+    "chunk_sequence",
     "GenomePair",
     "random_genome",
     "related_pair",

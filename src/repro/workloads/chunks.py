@@ -1,0 +1,102 @@
+"""Streaming reference chunking for database search.
+
+Long references (genomes, assembled contigs) are windowed into overlapping
+chunks so the search pipeline (:mod:`repro.search`) can treat a multi-Mbp
+database as a stream of fixed-extent candidate subjects.  The iterators
+are lazy: chunks are NumPy *views* into the source sequence, so scanning a
+50 Mbp genome allocates nothing per chunk.
+
+Stitching guarantee: consecutive chunks of one sequence share ``overlap``
+bases, so any interval of length ≤ ``overlap + 1`` lies entirely inside at
+least one chunk — choose ``overlap ≥ max query length + expected indel
+drift`` and no hit can be lost at a window boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.util.checks import ValidationError, check_positive
+from repro.util.encoding import encode
+
+__all__ = ["Chunk", "chunk_sequence", "chunk_records"]
+
+
+@dataclass(slots=True)
+class Chunk:
+    """One reference window: a view into the source sequence.
+
+    ``id`` is the global chunk ordinal within one scan (stable across
+    records); ``start`` is the 0-based offset of the window in its record.
+    """
+
+    id: int
+    record: str
+    start: int
+    sequence: np.ndarray  # uint8 codes (a view, do not mutate)
+
+    def __len__(self) -> int:
+        return int(self.sequence.size)
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset of the window in its record."""
+        return self.start + int(self.sequence.size)
+
+
+def chunk_sequence(
+    sequence,
+    window: int,
+    overlap: int = 0,
+    *,
+    name: str = "ref",
+    start_id: int = 0,
+) -> Iterator[Chunk]:
+    """Window one sequence into overlapping chunks (lazy).
+
+    Chunks start every ``window − overlap`` bases and are ``window`` long,
+    except the final chunk which may be shorter (it always reaches the end
+    of the sequence, so every base is covered).  ``overlap`` must be
+    smaller than ``window``.
+    """
+    check_positive(window, "window")
+    if not 0 <= overlap < window:
+        raise ValidationError(
+            f"overlap must be in [0, window), got overlap={overlap} window={window}"
+        )
+    seq = encode(sequence)
+    n = seq.size
+    if n == 0:
+        return
+    stride = window - overlap
+    cid = start_id
+    pos = 0
+    while True:
+        end = min(n, pos + window)
+        yield Chunk(id=cid, record=name, start=pos, sequence=seq[pos:end])
+        if end >= n:
+            return
+        pos += stride
+        cid += 1
+
+
+def chunk_records(records: Iterable, window: int, overlap: int = 0) -> Iterator[Chunk]:
+    """Chain :func:`chunk_sequence` over FASTA records with global chunk ids.
+
+    ``records`` is an iterable of :class:`~repro.workloads.fasta.FastaRecord`
+    (or any object with ``name`` and ``sequence`` attributes); records with
+    empty sequences are skipped.
+    """
+    next_id = 0
+    for rec in records:
+        seq = rec.sequence
+        if seq is None or len(seq) == 0:
+            continue
+        for chunk in chunk_sequence(
+            seq, window, overlap, name=rec.name, start_id=next_id
+        ):
+            yield chunk
+            next_id = chunk.id + 1

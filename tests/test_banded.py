@@ -5,13 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.banded import banded_score
+from repro.core.banded import band_cells, banded_score
 from repro.core.recurrence import score_reference
 from repro.core.scoring import (
     affine_gap_scoring,
     global_scheme,
     linear_gap_scoring,
     local_scheme,
+    semiglobal_scheme,
     simple_subst_scoring,
 )
 from repro.util.checks import ValidationError
@@ -71,13 +72,18 @@ class TestBandedExactness:
 
 
 def _masked_reference_banded(q, s, scheme, band):
-    """Independent oracle: reference DP with out-of-band cells at −∞."""
-    from repro.core.types import NEG_INF
+    """Independent oracle: reference DP with out-of-band cells at −∞.
+
+    Supports global and semiglobal schemes (semiglobal: borders inside the
+    band initialise to 0, optimum over in-band last-row/last-column cells).
+    """
+    from repro.core.types import NEG_INF, AlignmentType
 
     n, m = q.size, s.size
     gaps = scheme.scoring.gaps
     t = scheme.scoring.subst.table
     NI = NEG_INF // 2
+    semi = scheme.alignment_type is AlignmentType.SEMIGLOBAL
     H = np.full((n + 1, m + 1), NI, dtype=np.int64)
     affine = gaps.is_affine
     if affine:
@@ -88,13 +94,13 @@ def _masked_reference_banded(q, s, scheme, band):
         g = gaps.gap
     H[0, 0] = 0
     for j in range(1, min(m, band) + 1):
-        H[0, j] = (go + ge * j) if affine else g * j
-        if affine:
+        H[0, j] = 0 if semi else ((go + ge * j) if affine else g * j)
+        if affine and not semi:
             F[0, j] = H[0, j]
     for i in range(1, n + 1):
         if i <= band:
-            H[i, 0] = (go + ge * i) if affine else g * i
-            if affine:
+            H[i, 0] = 0 if semi else ((go + ge * i) if affine else g * i)
+            if affine and not semi:
                 E[i, 0] = H[i, 0]
         for j in range(max(1, i - band), min(m, i + band) + 1):
             if affine:
@@ -107,7 +113,16 @@ def _masked_reference_banded(q, s, scheme, band):
                     H[i - 1, j] + g,
                     H[i, j - 1] + g,
                 )
-    return int(H[n, m])
+    if not semi:
+        return int(H[n, m])
+    best = NI
+    for j in range(m + 1):
+        if abs(j - n) <= band:
+            best = max(best, int(H[n, j]))
+    for i in range(n + 1):
+        if abs(m - i) <= band:
+            best = max(best, int(H[i, m]))
+    return best
 
 
 class TestBandedAgainstMaskedOracle:
@@ -124,17 +139,187 @@ class TestBandedAgainstMaskedOracle:
             )
 
 
+HARSH = simple_subst_scoring(2, -10)
+HARSH_AFF = global_scheme(affine_gap_scoring(HARSH, -2, -1))
+SEMI_LIN = semiglobal_scheme(linear_gap_scoring(SUB, -1))
+SEMI_AFF = semiglobal_scheme(affine_gap_scoring(SUB, -2, -1))
+
+
+class TestBorderLeakRegression:
+    def test_affine_narrow_band_all_mismatch(self):
+        """Out-of-band column-0 border cells must not leak into the band.
+
+        All-mismatch sequences with harsh mismatch and cheap affine gaps:
+        the optimal *unconstrained* path hugs the matrix borders (two long
+        gap runs), which a band of 1 forbids — the old implementation
+        seeded border cells for rows up to band+1 and returned the
+        out-of-band two-run score.
+        """
+        q, s = encode("A" * 6), encode("C" * 6)
+        assert banded_score(q, s, HARSH_AFF, 1) == _masked_reference_banded(
+            q, s, HARSH_AFF, 1
+        )
+        # The in-band optimum is the gap staircase, not the border path.
+        assert banded_score(q, s, HARSH_AFF, 1) < 2 * (-2) + 12 * (-1)
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            global_scheme(linear_gap_scoring(HARSH, -1)),
+            HARSH_AFF,
+            semiglobal_scheme(affine_gap_scoring(HARSH, -3, -1)),
+        ],
+        ids=["linear", "affine", "semiglobal-affine"],
+    )
+    def test_harsh_scoring_matches_masked_oracle(self, scheme):
+        from repro.core.types import AlignmentType
+
+        rng = np.random.default_rng(31)
+        semi = scheme.alignment_type is AlignmentType.SEMIGLOBAL
+        for _ in range(25):
+            n, m = rng.integers(1, 25, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            extra = int(rng.integers(0, 8))
+            band = extra if semi else abs(int(n) - int(m)) + extra
+            assert banded_score(q, s, scheme, band) == _masked_reference_banded(
+                q, s, scheme, band
+            )
+
+
+class TestBandedSemiglobal:
+    @pytest.mark.parametrize("scheme", [SEMI_LIN, SEMI_AFF], ids=["linear", "affine"])
+    def test_narrow_bands_match_masked_oracle(self, scheme):
+        rng = np.random.default_rng(47)
+        for _ in range(30):
+            n, m = rng.integers(1, 35, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            band = int(rng.integers(0, 12))  # any band is feasible
+            assert banded_score(q, s, scheme, band) == _masked_reference_banded(
+                q, s, scheme, band
+            )
+
+    @pytest.mark.parametrize("scheme", [SEMI_LIN, SEMI_AFF], ids=["linear", "affine"])
+    def test_full_band_equals_unbanded(self, scheme):
+        rng = np.random.default_rng(53)
+        for _ in range(15):
+            n, m = rng.integers(1, 45, 2)
+            q = rng.integers(0, 4, n).astype(np.uint8)
+            s = rng.integers(0, 4, m).astype(np.uint8)
+            band = max(int(n), int(m))
+            assert banded_score(q, s, scheme, band) == score_reference(q, s, scheme)
+
+    def test_query_in_window_placement(self):
+        # The search use case: a query sitting at an offset inside a
+        # window is found exactly when the band covers the offset.
+        rng = np.random.default_rng(59)
+        window = rng.integers(0, 4, 120).astype(np.uint8)
+        query = window[70:100].copy()
+        full = score_reference(query, window, SEMI_LIN)
+        assert full == 2 * 30  # perfect placement
+        assert banded_score(query, window, SEMI_LIN, 90) == full
+        # A band far below the 70-base placement offset cannot reach it.
+        assert banded_score(query, window, SEMI_LIN, 5) < full
+
+    def test_band_wider_than_everything(self):
+        q = encode("ACGT")
+        s = encode("ACGTACGT")
+        assert banded_score(q, s, SEMI_LIN, 10_000) == score_reference(q, s, SEMI_LIN)
+
+
+class TestWiden:
+    def test_narrow_band_raises_without_widen(self):
+        with pytest.raises(ValidationError, match="widen"):
+            banded_score(encode("A" * 10), encode("A" * 3), LIN, 2)
+
+    def test_widen_uses_minimum_feasible_band(self):
+        q, s = encode("ACGTACGTAC"), encode("ACG")
+        assert banded_score(q, s, LIN, 2, widen=True) == banded_score(q, s, LIN, 7)
+        assert banded_score(q, s, AFF, 0, widen=True) == banded_score(q, s, AFF, 7)
+
+    def test_widen_noop_for_feasible_band(self):
+        q, s = encode("ACGTAC"), encode("ACGTTC")
+        assert banded_score(q, s, LIN, 2, widen=True) == banded_score(q, s, LIN, 2)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            banded_score(encode("ACGT"), encode("ACGT"), LIN, -1)
+        with pytest.raises(ValidationError, match=">= 0"):
+            band_cells(4, 4, -1)
+
+
+class TestBandCells:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(61)
+        for _ in range(40):
+            n, m, b = (int(x) for x in rng.integers(1, 20, 3))
+            brute = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(1, m + 1)
+                if abs(j - i) <= b
+            )
+            assert band_cells(n, m, b) == brute
+
+    def test_full_band_is_full_matrix(self):
+        assert band_cells(12, 7, 12) == 12 * 7
+
+    def test_zero_band_is_diagonal(self):
+        assert band_cells(9, 9, 0) == 9
+        assert band_cells(9, 4, 0) == 4
+
+
 class TestBandedValidation:
     def test_band_cannot_reach_corner(self):
         with pytest.raises(ValidationError, match="corner"):
             banded_score(encode("A" * 10), encode("A" * 3), LIN, 2)
 
-    def test_non_global_rejected(self):
+    def test_local_rejected(self):
         scheme = local_scheme(linear_gap_scoring(SUB, -1))
         with pytest.raises(ValidationError, match="global"):
             banded_score(encode("ACGT"), encode("ACGT"), scheme, 4)
+
+    def test_semiglobal_any_band_feasible(self):
+        # Free end gaps: even band 0 with unequal lengths is legal.
+        assert isinstance(banded_score(encode("A" * 10), encode("A" * 3), SEMI_LIN, 0), int)
 
     def test_zero_band_square(self):
         # band 0 on equal lengths = pure diagonal (no gaps at all).
         q, s = encode("ACGTACGT"), encode("ACCTACGT")
         assert banded_score(q, s, LIN, 0) == 2 * 7 - 1
+
+
+class TestBandedCapability:
+    def test_inline_backends_declare_banded(self):
+        from repro.core.backend import capability_matrix
+
+        caps = capability_matrix()
+        for name in ("rowscan", "scalar", "reference"):
+            assert caps[name].banded
+        assert not caps["tiled"].banded
+
+    def test_aligner_banded_score(self):
+        from repro.core import Aligner
+
+        a = Aligner(global_scheme(linear_gap_scoring(SUB, -1)))
+        q, s = "ACGTACGTAC", "ACGTTCGTAC"
+        assert a.banded_score(q, s, 10) == a.score(q, s)
+
+    def test_aligner_banded_unsupported_backend(self):
+        from repro.core import Aligner
+
+        a = Aligner(backend="tiled")
+        with pytest.raises(ValidationError, match="banded"):
+            a.banded_score("ACGT", "ACGT", 4)
+
+    def test_plan_score_banded(self):
+        from repro.engine import ExecutionEngine, PlanCache
+
+        eng = ExecutionEngine(plan_cache=PlanCache(), backend="rowscan")
+        plan = eng.plan_for("rowscan")
+        q, s = encode("ACGTACGT"), encode("ACCTACGT")
+        assert plan.score_banded(q, s, 8) == score_reference(q, s, eng.scheme)
+        tiled = eng.plan_for("tiled")
+        with pytest.raises(ValidationError, match="banded"):
+            tiled.score_banded(q, s, 8)

@@ -16,11 +16,16 @@ from repro.engine import (
     BatchExecutor,
     ExecutionEngine,
     PlanCache,
+    PlanExecutorStage,
+    Request,
+    ScoreCollector,
+    ShapeBatcher,
+    StreamPipeline,
     encode_pairs,
     group_by_shape,
     request_graph,
 )
-from repro.util.checks import ValidationError
+from repro.util.checks import ReproError, ValidationError
 from repro.util.encoding import encode
 
 
@@ -204,6 +209,216 @@ class TestPlanCache:
         assert eng.stats.exec.pairs == 32
         assert eng.stats.exec.cells > 0
         assert eng.stats.exec.lane_blocks + eng.stats.exec.scalar_pops > 0
+
+
+class TestLifecycle:
+    def test_engine_context_manager(self):
+        qs, ss = _mixed_pairs(10)
+        with ExecutionEngine(plan_cache=PlanCache()) as eng:
+            refs = _refs(qs, ss, eng.scheme)
+            assert list(eng.submit_batch(qs, ss)) == refs
+        assert eng.closed
+
+    def test_closed_engine_rejects_work(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        eng.close()
+        with pytest.raises(ReproError, match="closed"):
+            eng.submit_batch(["ACGT"], ["ACG"])
+        with pytest.raises(ReproError, match="closed"):
+            eng.align_batch(["ACGT"], ["ACG"])
+
+    def test_double_close_noop(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        eng.close()
+        eng.close()  # must not raise
+        assert eng.closed
+
+    def test_executor_context_manager(self):
+        with BatchExecutor(max_workers=2) as ex:
+            fut = ex.submit(lambda: 7)
+            assert fut.result() == 7
+        assert ex.closed
+        with pytest.raises(ReproError, match="closed"):
+            ex.submit(lambda: 1)
+        ex.close()  # double close is a no-op
+        ex.close()
+
+    def test_closed_executor_rejects_runs(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        plan = eng.plan_for("rowscan")
+        ex = BatchExecutor(max_workers=2)
+        ex.close()
+        enc_q, enc_s = encode_pairs(["ACGT"], ["ACG"])
+        with pytest.raises(ReproError, match="closed"):
+            ex.run_scores(plan, enc_q, enc_s)
+        with pytest.raises(ReproError, match="closed"):
+            ex.run_aligns(plan, enc_q, enc_s)
+
+
+class TestRunAndStream:
+    def test_run_wraps_pipeline(self):
+        qs, ss = _mixed_pairs(20, seed=3)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        assert list(eng.run(list(zip(qs, ss)))) == _refs(qs, ss, eng.scheme)
+
+    def test_run_accepts_request_objects(self):
+        qs, ss = _mixed_pairs(8, seed=4)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        reqs = [Request(key=k, query=encode(q), subject=encode(s)) for k, (q, s) in enumerate(zip(qs, ss))]
+        assert list(eng.run(reqs)) == _refs(qs, ss, eng.scheme)
+
+    def test_stream_scores_everything(self):
+        qs, ss = _mixed_pairs(40, seed=7)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        got = dict(eng.stream(zip(qs, ss)))
+        refs = _refs(qs, ss, eng.scheme)
+        assert sorted(got) == list(range(40))
+        assert [got[k] for k in range(40)] == refs
+
+    def test_stream_is_lazy(self):
+        # The source must be consumed incrementally, not materialized.
+        eng = ExecutionEngine(plan_cache=PlanCache(), max_in_flight=8, lanes=4)
+        pulled = []
+
+        def pairs():
+            qs, ss = _mixed_pairs(256, seed=8, lengths=(12,))
+            for k, (q, s) in enumerate(zip(qs, ss)):
+                pulled.append(k)
+                yield q, s
+
+        stream = eng.stream(pairs())
+        first = next(stream)
+        assert isinstance(first, tuple)
+        # Backpressure: far fewer than all 256 pairs pulled for one result
+        # (bounded by lane size x outstanding batches, not stream length).
+        assert len(pulled) < 256
+        rest = dict(stream)
+        assert len(rest) == 255
+
+    def test_empty_stream(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        assert list(eng.stream(iter(()))) == []
+
+
+class TestStreamingBackpressure:
+    def test_forced_flushes_bound_buffering(self):
+        qs, ss = _mixed_pairs(60, seed=11, lengths=(10, 14, 18))
+        eng = ExecutionEngine(plan_cache=PlanCache(), max_in_flight=6)
+        out = eng.submit_batch(qs, ss)
+        assert list(out) == _refs(qs, ss, eng.scheme)
+        ps = eng.stats.pipeline
+        assert ps.flushes > 0
+        assert ps.max_buffered <= 6 + 1  # checked after each admitted request
+
+    def test_default_budget_no_flushes_on_small_batches(self):
+        qs, ss = _mixed_pairs(16, seed=12)
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        eng.submit_batch(qs, ss)
+        assert eng.stats.pipeline.flushes == 0
+
+
+class TestStreamPipelineStages:
+    def _plan(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())
+        return eng, eng.plan_for("rowscan")
+
+    def test_shape_batcher_emits_full_lanes(self):
+        batcher = ShapeBatcher(max_lanes=4)
+        reqs = [
+            Request(key=k, query=encode("ACGT"), subject=encode("ACG"))
+            for k in range(6)
+        ]
+        emitted = []
+        for r in reqs:
+            emitted.extend(batcher.add(r))
+        assert len(emitted) == 1 and len(emitted[0]) == 4
+        assert batcher.pending == 2
+        rest = batcher.flush()
+        assert len(rest) == 1 and len(rest[0]) == 2
+        assert batcher.pending == 0
+
+    def test_prefilter_stage_counts_rejections(self):
+        class EvenKeys:
+            candidates = admitted = rejected = rejected_cells = 0
+
+            def expand(self, req):
+                self.candidates += 1
+                if req.key % 2 == 0:
+                    self.admitted += 1
+                    return [req]
+                self.rejected += 1
+                self.rejected_cells += req.cells
+                return []
+
+        eng, plan = self._plan()
+        qs, ss = _mixed_pairs(10, seed=13, lengths=(9,))
+        out = np.full(10, -1, dtype=np.int64)
+        reqs = [
+            Request(key=k, query=encode(q), subject=encode(s))
+            for k, (q, s) in enumerate(zip(qs, ss))
+        ]
+        pipe = StreamPipeline(
+            reqs,
+            prefilter=EvenKeys(),
+            batcher=ShapeBatcher(4),
+            stage=PlanExecutorStage(plan),
+            reducer=ScoreCollector(out),
+            executor=eng.executor,
+        )
+        emitted = list(pipe.run())
+        refs = _refs(qs, ss, eng.scheme)
+        assert sorted(k for k, _ in emitted) == [0, 2, 4, 6, 8]
+        for k in range(10):
+            assert out[k] == (refs[k] if k % 2 == 0 else -1)
+        assert pipe.stats.candidates == 10
+        assert pipe.stats.rejected == 5
+        assert pipe.stats.rejection_rate == 0.5
+        assert pipe.stats.cells_skipped_prefilter > 0
+
+    def test_stage_timings_populated(self):
+        eng, plan = self._plan()
+        qs, ss = _mixed_pairs(12, seed=14)
+        out = np.empty(12, dtype=np.int64)
+        reqs = (
+            Request(key=k, query=encode(q), subject=encode(s))
+            for k, (q, s) in enumerate(zip(qs, ss))
+        )
+        pipe = StreamPipeline(
+            reqs,
+            batcher=ShapeBatcher(8),
+            stage=PlanExecutorStage(plan),
+            reducer=ScoreCollector(out),
+            executor=eng.executor,
+        )
+        pipe.drain()
+        st = pipe.stats
+        assert st.stages["source"].items == 12
+        assert st.stages["execute"].items == 12
+        assert st.stages["reduce"].items == 12
+        assert st.pairs == 12
+        assert st.cells_computed == sum(len(q) * len(s) for q, s in zip(qs, ss))
+        # No prefilter: every sourced item counts as admitted.
+        assert st.candidates == st.admitted == 12
+
+    def test_pipeline_stats_table_renders(self):
+        from repro.perf import pipeline_stats_table
+
+        eng, plan = self._plan()
+        qs, ss = _mixed_pairs(6, seed=15)
+        out = np.empty(6, dtype=np.int64)
+        reqs = [
+            Request(key=k, query=encode(q), subject=encode(s))
+            for k, (q, s) in enumerate(zip(qs, ss))
+        ]
+        pipe = StreamPipeline(
+            reqs,
+            batcher=ShapeBatcher(8),
+            stage=PlanExecutorStage(plan),
+            reducer=ScoreCollector(out),
+        )
+        pipe.drain()
+        text = pipeline_stats_table(pipe.stats)
+        assert "execute" in text and "rejection rate" in text and "GCUPS" in text
 
 
 class TestEngineFasterThanSequential:

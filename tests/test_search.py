@@ -1,0 +1,300 @@
+"""Tests for the streaming query-vs-database search (repro.search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recurrence import score_reference
+from repro.core.scoring import linear_gap_scoring, local_scheme, simple_subst_scoring
+from repro.engine import ExecutionEngine, PlanCache
+from repro.search import (
+    QueryIndex,
+    SeedPrefilter,
+    TopKReducer,
+    default_search_scheme,
+    exhaustive_topk,
+    kmer_codes,
+    search,
+    search_topk,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+from repro.util.rng import make_rng
+from repro.workloads import MutationModel, chunk_sequence, mutate, random_genome
+from repro.workloads.chunks import Chunk
+
+
+def _planted_instance(ref_len, count, qlen, seed, divergence=0.02):
+    """Reference + queries sampled from it with mild mutations."""
+    rng = make_rng(seed)
+    ref = random_genome(ref_len, seed=rng)
+    positions = rng.integers(0, ref.size - qlen, count)
+    model = MutationModel(
+        substitution=divergence, insertion=0.001, deletion=0.001, indel_mean=2.0
+    )
+    queries = [mutate(ref[p : p + qlen], model, seed=rng) for p in positions]
+    return ref, queries, positions
+
+
+def _hit_keys(per_query):
+    return [[(h.start, h.score, h.chunk_id) for h in hits] for hits in per_query]
+
+
+class TestKmers:
+    def test_kmer_codes_brute_force(self):
+        seq = encode("ACGTACG")
+        got = kmer_codes(seq, 3)
+        brute = [int(seq[i]) * 16 + int(seq[i + 1]) * 4 + int(seq[i + 2]) for i in range(5)]
+        assert list(got) == brute
+
+    def test_kmer_codes_short_sequence(self):
+        assert kmer_codes(encode("AC"), 3).size == 0
+
+    def test_k_bounds(self):
+        with pytest.raises(ValidationError):
+            kmer_codes(encode("ACGT"), 0)
+        with pytest.raises(ValidationError):
+            kmer_codes(encode("ACGT"), 32)
+
+    def test_seed_counts_match_set_intersection(self):
+        rng = make_rng(3)
+        k = 5
+        queries = [rng.integers(0, 4, 40).astype(np.uint8) for _ in range(8)]
+        index = QueryIndex(queries, k=k)
+        subject = rng.integers(0, 4, 120).astype(np.uint8)
+        counts = index.seed_counts(subject)
+        sset = set(kmer_codes(subject, k).tolist())
+        for qid, q in enumerate(queries):
+            expect = len(set(kmer_codes(q, k).tolist()) & sset)
+            assert counts[qid] == expect
+
+    def test_query_shorter_than_k_rejected(self):
+        with pytest.raises(ValidationError, match="shorter"):
+            QueryIndex(["ACG"], k=11)
+
+
+class TestSeedPrefilter:
+    def test_expand_admits_seed_sharing_queries(self):
+        ref = random_genome(400, seed=9)
+        queries = [ref[50:90], random_genome(40, seed=10)]
+        index = QueryIndex(queries, k=11)
+        pf = SeedPrefilter(index, min_seeds=2)
+        chunk = Chunk(id=0, record="ref", start=0, sequence=ref[:200])
+        reqs = pf.expand(chunk)
+        admitted = {r.meta["query_id"] for r in reqs}
+        assert 0 in admitted  # exact substring of the window
+        assert pf.candidates == 2
+        assert pf.admitted + pf.rejected == 2
+        if 1 not in admitted:
+            assert pf.rejected_cells == 40 * 200
+
+
+class TestTopKReducer:
+    def _chunk(self, cid, start):
+        return Chunk(id=cid, record="r", start=start, sequence=np.zeros(10, np.uint8))
+
+    def test_bounded_and_sorted(self):
+        red = TopKReducer(1, k=3)
+        for cid, score in enumerate([5, 9, 1, 7, 8]):
+            red.offer(0, self._chunk(cid, cid * 10), score)
+        (hits,) = red.results()
+        assert [h.score for h in hits] == [9, 8, 7]
+
+    def test_ties_prefer_earlier_windows(self):
+        red = TopKReducer(1, k=2)
+        for cid, start in [(0, 30), (1, 10), (2, 20)]:
+            red.offer(0, self._chunk(cid, start), 5)
+        (hits,) = red.results()
+        assert [h.start for h in hits] == [10, 20]
+
+    def test_min_score_filters(self):
+        red = TopKReducer(1, k=5, min_score=10)
+        assert red.offer(0, self._chunk(0, 0), 9) is None
+        assert red.offer(0, self._chunk(1, 10), 10) is not None
+        (hits,) = red.results()
+        assert len(hits) == 1
+
+    def test_non_admitted_returns_none(self):
+        red = TopKReducer(1, k=1)
+        assert red.offer(0, self._chunk(0, 0), 5) is not None
+        assert red.offer(0, self._chunk(1, 10), 3) is None  # worse than kept
+
+
+class TestOracleIdentity:
+    """The streaming pipeline retains exactly the exhaustive full-DP hits."""
+
+    def test_identical_hit_sets_small_instance(self):
+        ref, queries, _ = _planted_instance(8000, 16, 80, seed=42)
+        window = 160
+        # band=window makes banded == full DP structurally (no cell of an
+        # n ≤ m problem is excluded), so identity must be exact.
+        run = search(
+            queries, ref, k=4, min_score=100, min_seeds=1, window=window, band=window
+        )
+        got = run.topk()
+        oracle = exhaustive_topk(queries, ref, k=4, min_score=100, window=window)
+        assert _hit_keys(got) == _hit_keys(oracle)
+        # And the prefilter actually did reject most candidates.
+        assert run.stats.rejection_rate > 0.9
+
+    def test_full_verify_mode_matches_oracle(self):
+        ref, queries, _ = _planted_instance(5000, 8, 60, seed=77)
+        got = search_topk(
+            queries, ref, k=3, min_score=80, min_seeds=1, window=120, verify="full"
+        )
+        oracle = exhaustive_topk(queries, ref, k=3, min_score=80, window=120)
+        assert _hit_keys(got) == _hit_keys(oracle)
+
+    def test_banded_default_recovers_all_plants(self):
+        # The default (narrower) band still finds every true placement —
+        # only sub-band shoulder placements may differ from the oracle.
+        ref, queries, positions = _planted_instance(12_000, 12, 100, seed=5)
+        topk = search_topk(queries, ref, k=2, min_score=150)
+        for qid, p in enumerate(positions):
+            assert topk[qid], f"query {qid} found nothing"
+            best = topk[qid][0]
+            assert best.start <= p < best.end
+
+
+class TestStreamingScale:
+    def test_128_queries_vs_1mbp_reference_streams(self):
+        """Acceptance: 128 queries against a ≥1 Mbp synthetic reference.
+
+        Results must stream (first hit before the scan finishes), every
+        planted query must be recovered, and the seed prefilter must
+        reject the overwhelming majority of candidate pairs.
+        """
+        ref, queries, positions = _planted_instance(
+            1_000_000, 128, 150, seed=7, divergence=0.03
+        )
+        consumed = {"n": 0}
+
+        def counting_chunks():
+            for c in chunk_sequence(ref, 300, 166):
+                consumed["n"] += 1
+                yield c
+
+        run = search(
+            queries, counting_chunks(), k=3, min_score=200, window=300, overlap=166
+        )
+        first_at = None
+        events = 0
+        for _hit in run:
+            if first_at is None:
+                first_at = consumed["n"]
+            events += 1
+        topk = run.topk()
+        total = consumed["n"]
+        assert total > 3000  # ≥1 Mbp really was windowed
+        assert events >= 128
+        assert first_at < total, "no hit streamed before the scan finished"
+        for qid, p in enumerate(positions):
+            assert topk[qid], f"query {qid} found nothing"
+            best = topk[qid][0]
+            assert best.start <= p < best.end, (qid, p, best)
+        st = run.stats
+        assert st.rejection_rate > 0.95
+        assert st.cells_skipped_prefilter > 0
+        assert st.cells_skipped_band > 0
+        assert st.cells_computed < st.cells_skipped
+
+
+class TestBackpressure:
+    def test_bounded_in_flight_budget(self):
+        ref, queries, _ = _planted_instance(6000, 8, 60, seed=11)
+        run = search(
+            queries, ref, k=3, min_score=80, min_seeds=1, window=120, max_in_flight=4
+        )
+        baseline = search_topk(queries, ref, k=3, min_score=80, min_seeds=1, window=120)
+        assert _hit_keys(run.topk()) == _hit_keys(baseline)
+        assert run.stats.max_buffered <= 4 + 1
+
+    def test_report_renders(self):
+        ref, queries, _ = _planted_instance(4000, 4, 50, seed=13)
+        run = search(queries, ref, k=2)
+        run.topk()
+        text = run.report()
+        assert "rejection rate" in text and "cells skipped (band)" in text
+
+
+class TestPrewindowedDatabases:
+    def test_wide_chunk_iterator_gets_covering_band(self):
+        # A pre-windowed database with chunks wider than 2*qlen: the
+        # per-batch auto band must still cover the placement offset
+        # (regression: a band derived from an assumed window lost hits).
+        rng = make_rng(29)
+        ref = random_genome(4000, seed=rng)
+        query = ref[2300:2400].copy()  # offset 300 inside chunk [2000, 2500)
+        chunks = chunk_sequence(ref, window=500, overlap=120)
+        (hits,) = search([query], chunks, k=1, min_seeds=1).topk()
+        assert hits and hits[0].score == 2 * 100  # exact placement found
+
+    def test_chunk_list_and_iterator_agree(self):
+        ref, queries, _ = _planted_instance(5000, 6, 70, seed=37)
+        chunks = list(chunk_sequence(ref, window=200, overlap=90))
+        a = search_topk(queries, iter(chunks), k=2, min_score=90)
+        b = search_topk(queries, chunks, k=2, min_score=90)
+        assert _hit_keys(a) == _hit_keys(b)
+
+
+class TestEngineOwnership:
+    def test_private_engine_closed_on_drain(self):
+        ref, queries, _ = _planted_instance(3000, 4, 50, seed=41)
+        run = search(queries, ref, k=1)
+        run.topk()
+        assert run.pipeline.executor.closed
+
+    def test_private_engine_closed_via_context_manager(self):
+        ref, queries, _ = _planted_instance(3000, 4, 50, seed=43)
+        with search(queries, ref, k=1) as run:
+            next(iter(run), None)
+        assert run.pipeline.executor.closed
+
+    def test_caller_engine_left_open(self):
+        ref, queries, _ = _planted_instance(3000, 4, 50, seed=47)
+        with ExecutionEngine(default_search_scheme(), backend="rowscan", plan_cache=PlanCache()) as eng:
+            search(queries, ref, k=1, engine=eng).topk()
+            assert not eng.closed  # caller-owned engines are not touched
+
+
+class TestSearchConfiguration:
+    def test_shared_engine_and_plan_cache(self):
+        ref, queries, _ = _planted_instance(4000, 4, 50, seed=17)
+        scheme = default_search_scheme()
+        cache = PlanCache()
+        with ExecutionEngine(scheme, backend="rowscan", plan_cache=cache) as eng:
+            a = search_topk(queries, ref, k=2, engine=eng)
+            b = search_topk(queries, ref, k=2, engine=eng)
+        assert _hit_keys(a) == _hit_keys(b)
+        assert len(cache) == 1  # both runs shared one plan
+
+    def test_engine_scheme_mismatch_rejected(self):
+        eng = ExecutionEngine(plan_cache=PlanCache())  # global default scheme
+        with pytest.raises(ValidationError, match="scheme"):
+            search(["ACGTACGTACGTACG"], random_genome(500, seed=1), engine=eng)
+
+    def test_local_scheme_rejected(self):
+        scheme = local_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+        with pytest.raises(ValidationError, match="global"):
+            search(["ACGTACGTACGTACG"], random_genome(500, seed=1), scheme=scheme)
+
+    def test_window_smaller_than_query_rejected(self):
+        with pytest.raises(ValidationError, match="window"):
+            search(["A" * 50], random_genome(500, seed=1), window=30)
+
+    def test_bad_verify_mode_rejected(self):
+        with pytest.raises(ValidationError, match="verify"):
+            search(["A" * 20], random_genome(500, seed=1), verify="psychic")
+
+    def test_scores_match_reference_dp(self):
+        # Every reported hit score is the exact semiglobal score of the
+        # (query, window) pair it names.
+        ref, queries, _ = _planted_instance(3000, 4, 50, seed=23)
+        scheme = default_search_scheme()
+        window = 120
+        topk = search_topk(
+            queries, ref, k=2, min_seeds=1, window=window, band=window, min_score=60
+        )
+        for qid, hits in enumerate(topk):
+            for h in hits:
+                sub = ref[h.start : h.end]
+                assert h.score == score_reference(encode(queries[qid]), sub, scheme)

@@ -16,12 +16,15 @@ from repro.core.scoring import (
 )
 from repro.util.checks import ValidationError
 from repro.util.encoding import decode
+from repro.util.rng import make_rng
 from repro.workloads import (
     FastaRecord,
     IlluminaProfile,
     MutationModel,
     TABLE1_PAIRS,
     TABLE1_SEQUENCES,
+    chunk_records,
+    chunk_sequence,
     mutate,
     random_genome,
     read_fasta,
@@ -211,6 +214,139 @@ class TestFasta:
             read_fastq("@x\nACGT\n+\nII\n")  # quality too short
         with pytest.raises(ValidationError):
             read_fastq("@x\nACGT\n+\n")
+
+
+class TestFastaRoundTrip:
+    def test_wrapped_lines_exact_multiple(self):
+        # Sequence length an exact multiple of the wrap width: no short
+        # trailing line, still byte-identical after a round trip.
+        rec = FastaRecord("x", random_genome(140, seed=31))
+        for width in (7, 70, 140):
+            text = write_fasta([rec], width=width)
+            back = read_fasta(text)[0]
+            np.testing.assert_array_equal(back.sequence, rec.sequence)
+
+    def test_empty_record_roundtrip(self):
+        recs = [
+            FastaRecord("empty", np.empty(0, dtype=np.uint8), "no sequence"),
+            FastaRecord("full", random_genome(25, seed=32)),
+        ]
+        back = read_fasta(write_fasta(recs))
+        assert [r.name for r in back] == ["empty", "full"]
+        assert len(back[0]) == 0 and back[0].description == "no sequence"
+        np.testing.assert_array_equal(back[1].sequence, recs[1].sequence)
+
+    def test_empty_record_between_records(self):
+        back = read_fasta(">a\n>b\nACGT\n>c\n")
+        assert [len(r) for r in back] == [0, 4, 0]
+
+    def test_many_records_odd_width(self):
+        recs = [FastaRecord(f"r{k}", random_genome(10 + 7 * k, seed=k)) for k in range(6)]
+        back = read_fasta(write_fasta(recs, width=13))
+        assert len(back) == 6
+        for orig, rec in zip(recs, back):
+            np.testing.assert_array_equal(rec.sequence, orig.sequence)
+
+
+class TestMutateDeterminism:
+    MODEL = MutationModel(substitution=0.05, insertion=0.01, deletion=0.01)
+
+    def test_same_int_seed_same_output(self):
+        g = random_genome(5000, seed=40)
+        np.testing.assert_array_equal(
+            mutate(g, self.MODEL, seed=41), mutate(g, self.MODEL, seed=41)
+        )
+
+    def test_make_rng_seed_equivalent(self):
+        # Passing an int and passing make_rng(int) must agree: mutate
+        # routes everything through util.rng.make_rng.
+        g = random_genome(2000, seed=42)
+        np.testing.assert_array_equal(
+            mutate(g, self.MODEL, seed=43), mutate(g, self.MODEL, seed=make_rng(43))
+        )
+
+    def test_default_seed_is_fixed(self):
+        g = random_genome(1000, seed=44)
+        np.testing.assert_array_equal(
+            mutate(g, self.MODEL, seed=None), mutate(g, self.MODEL, seed=None)
+        )
+
+    def test_distinct_seeds_differ(self):
+        g = random_genome(5000, seed=45)
+        assert not np.array_equal(
+            mutate(g, self.MODEL, seed=1), mutate(g, self.MODEL, seed=2)
+        )
+
+
+class TestChunks:
+    def test_covers_every_base(self):
+        seq = random_genome(1000, seed=50)
+        chunks = list(chunk_sequence(seq, window=128, overlap=32))
+        covered = np.zeros(seq.size, dtype=bool)
+        for c in chunks:
+            covered[c.start : c.end] = True
+            np.testing.assert_array_equal(c.sequence, seq[c.start : c.end])
+        assert covered.all()
+
+    def test_consecutive_chunks_overlap(self):
+        seq = random_genome(700, seed=51)
+        chunks = list(chunk_sequence(seq, window=100, overlap=40))
+        for a, b in zip(chunks, chunks[1:]):
+            assert b.start == a.start + 60  # stride = window − overlap
+            assert a.end - b.start == 40 or a.end == seq.size
+
+    def test_stitching_guarantee(self):
+        # Any interval of length ≤ overlap+1 lies inside some chunk.
+        seq = random_genome(500, seed=52)
+        window, overlap = 64, 24
+        chunks = list(chunk_sequence(seq, window, overlap))
+        for start in range(0, seq.size - (overlap + 1)):
+            end = start + overlap + 1
+            assert any(c.start <= start and end <= c.end for c in chunks), start
+
+    def test_short_sequence_single_chunk(self):
+        seq = random_genome(30, seed=53)
+        (only,) = chunk_sequence(seq, window=100, overlap=10)
+        assert only.start == 0 and only.end == 30 and len(only) == 30
+
+    def test_tail_chunk_reaches_end(self):
+        seq = random_genome(205, seed=54)
+        chunks = list(chunk_sequence(seq, window=100, overlap=0))
+        assert [c.start for c in chunks] == [0, 100, 200]
+        assert chunks[-1].end == 205 and len(chunks[-1]) == 5
+
+    def test_ids_and_names_across_records(self):
+        recs = [
+            FastaRecord("chr1", random_genome(150, seed=55)),
+            FastaRecord("empty", np.empty(0, dtype=np.uint8)),
+            FastaRecord("chr2", random_genome(90, seed=56)),
+        ]
+        chunks = list(chunk_records(recs, window=64, overlap=16))
+        assert [c.id for c in chunks] == list(range(len(chunks)))
+        names = {c.record for c in chunks}
+        assert names == {"chr1", "chr2"}  # empty record skipped
+        # Offsets restart per record.
+        chr2 = [c for c in chunks if c.record == "chr2"]
+        assert chr2[0].start == 0
+
+    def test_chunks_are_views(self):
+        seq = random_genome(256, seed=57)
+        for c in chunk_sequence(seq, window=64, overlap=8):
+            assert c.sequence.base is seq
+
+    def test_validation(self):
+        seq = random_genome(10, seed=58)
+        with pytest.raises(ValidationError):
+            list(chunk_sequence(seq, window=0))
+        with pytest.raises(ValidationError):
+            list(chunk_sequence(seq, window=8, overlap=8))
+        with pytest.raises(ValidationError):
+            list(chunk_sequence(seq, window=8, overlap=-1))
+
+    def test_string_input(self):
+        chunks = list(chunk_sequence("ACGTACGTACGT", window=8, overlap=4))
+        # Stride 4; the chunk at offset 4 already reaches the end.
+        assert [(c.start, c.end) for c in chunks] == [(0, 8), (4, 12)]
 
 
 class TestTable1:
