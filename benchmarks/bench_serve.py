@@ -1,0 +1,172 @@
+"""Online serving: adaptive micro-batching vs. immediate per-request dispatch.
+
+The serving acceptance (PR 3): at 512 concurrent requests, the
+micro-batched :class:`repro.serve.AlignmentService` must deliver ≥ 3× the
+throughput of the same service dispatching every request alone
+(``target_batch=1`` — the per-request regime a naive online front would
+use), with every response bit-identical to the direct
+``ExecutionEngine.submit_batch`` result.
+
+Two arrival patterns are measured:
+
+* **closed loop**: all requests submitted at once (peak coalescing
+  opportunity; this is where the acceptance bar applies);
+* **open loop**: Poisson arrivals at a fixed offered rate, reporting the
+  p50/p99 latency the micro-batcher trades for its occupancy.
+
+``-k smoke`` selects the tiny CI variant.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.engine import ExecutionEngine, PlanCache
+from repro.perf import format_table
+from repro.serve import AlignmentService
+
+
+def _pairs(count, seed=41, shapes=((96, 192), (128, 224), (96, 224))):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        n, m = shapes[int(rng.integers(len(shapes)))]
+        q = "".join(rng.choice(list("ACGT"), n))
+        s = "".join(rng.choice(list("ACGT"), m))
+        out.append((q, s))
+    return out
+
+
+def _run_closed_loop(pairs, target_batch, max_linger):
+    """Serve all pairs concurrently; returns (scores, seconds, stats snapshot)."""
+
+    async def main():
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            eng.submit_batch([pairs[0][0]], [pairs[0][1]])  # warm plan + kernel
+            async with AlignmentService(
+                eng,
+                target_batch=target_batch,
+                max_linger=max_linger,
+                max_queue_depth=4 * len(pairs),
+            ) as svc:
+                t0 = time.perf_counter()
+                scores = await asyncio.gather(*(svc.submit(q, s) for q, s in pairs))
+                secs = time.perf_counter() - t0
+                return list(scores), secs, svc.stats.snapshot()
+
+    return asyncio.run(main())
+
+
+def _run_open_loop(pairs, rate, target_batch, max_linger, seed=43):
+    """Poisson arrivals at ``rate`` req/s; returns the stats snapshot."""
+
+    async def main():
+        rng = np.random.default_rng(seed)
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            eng.submit_batch([pairs[0][0]], [pairs[0][1]])
+            async with AlignmentService(
+                eng,
+                target_batch=target_batch,
+                max_linger=max_linger,
+                max_queue_depth=4 * len(pairs),
+            ) as svc:
+                tasks = []
+                for q, s in pairs:
+                    tasks.append(asyncio.create_task(svc.submit(q, s)))
+                    await asyncio.sleep(float(rng.exponential(1.0 / rate)))
+                await asyncio.gather(*tasks)
+                return svc.stats.snapshot()
+
+    return asyncio.run(main())
+
+
+def _run_comparison(report, name, count, min_speedup, open_rate):
+    pairs = _pairs(count)
+    with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+        direct = [int(x) for x in eng.submit_batch(
+            [q for q, _ in pairs], [s for _, s in pairs]
+        )]
+
+    # Baseline: immediate dispatch, every request its own batch.
+    base_scores, base_s, base_snap = _run_closed_loop(pairs, target_batch=1, max_linger=0.0)
+    # Micro-batched: lane-sized buckets, 2 ms linger bound.
+    mb_scores, mb_s, mb_snap = _run_closed_loop(pairs, target_batch=64, max_linger=0.002)
+
+    assert base_scores == direct, "baseline responses diverge from direct engine"
+    assert mb_scores == direct, "micro-batched responses diverge from direct engine"
+
+    speedup = base_s / mb_s
+    table = format_table(
+        ("serving mode", "s", "req/s", "batches", "mean occ", "p99 ms", "speedup"),
+        [
+            (
+                "immediate dispatch (batch=1)",
+                f"{base_s:7.3f}",
+                f"{count / base_s:,.0f}",
+                base_snap["batches"],
+                f"{base_snap['mean_occupancy']:.1f}",
+                f"{base_snap['latency_p99_ms']:.1f}",
+                "1.0x",
+            ),
+            (
+                "adaptive micro-batching",
+                f"{mb_s:7.3f}",
+                f"{count / mb_s:,.0f}",
+                mb_snap["batches"],
+                f"{mb_snap['mean_occupancy']:.1f}",
+                f"{mb_snap['latency_p99_ms']:.1f}",
+                f"{speedup:.1f}x",
+            ),
+        ],
+        title=f"Online serving: {count} concurrent score requests (closed loop)",
+    )
+
+    open_snap = _run_open_loop(pairs, open_rate, target_batch=64, max_linger=0.002)
+    open_table = format_table(
+        ("metric", "value"),
+        [
+            ("offered rate (req/s)", f"{open_rate:,.0f}"),
+            ("completed", open_snap["completed"]),
+            ("batches", open_snap["batches"]),
+            ("mean occupancy", f"{open_snap['mean_occupancy']:.1f}"),
+            ("latency p50 (ms)", f"{open_snap['latency_p50_ms']:.2f}"),
+            ("latency p99 (ms)", f"{open_snap['latency_p99_ms']:.2f}"),
+        ],
+        title="Open-loop arrival (Poisson)",
+    )
+
+    report(
+        name,
+        table + "\n\n" + open_table,
+        data={
+            "requests": count,
+            "baseline_s": base_s,
+            "batched_s": mb_s,
+            "speedup": speedup,
+            "baseline_rps": count / base_s,
+            "batched_rps": count / mb_s,
+            "baseline_p99_ms": base_snap["latency_p99_ms"],
+            "batched_p99_ms": mb_snap["latency_p99_ms"],
+            "batched_mean_occupancy": mb_snap["mean_occupancy"],
+            "batched_batches": mb_snap["batches"],
+            "open_loop_rate_rps": open_rate,
+            "open_loop_p50_ms": open_snap["latency_p50_ms"],
+            "open_loop_p99_ms": open_snap["latency_p99_ms"],
+            "open_loop_mean_occupancy": open_snap["mean_occupancy"],
+        },
+    )
+    assert speedup >= min_speedup, (
+        f"micro-batched serving only {speedup:.1f}x over immediate dispatch "
+        f"(need {min_speedup}x)"
+    )
+
+
+def test_serve_beats_immediate_dispatch(report):
+    """Acceptance: ≥3× throughput at 512 concurrent requests, equal results."""
+    _run_comparison(report, "serve", count=512, min_speedup=3.0, open_rate=2000.0)
+
+
+def test_serve_smoke(report):
+    """Tiny CI variant: correctness + any speedup at all."""
+    _run_comparison(report, "serve_smoke", count=96, min_speedup=1.0, open_rate=1000.0)

@@ -1,0 +1,96 @@
+"""Online alignment serving: a mixed open-loop workload.
+
+Drives the asyncio :class:`repro.serve.AlignmentService` the way a
+deployment would see it: requests arrive as a Poisson stream, most are
+interactive score requests, some are full alignments with deadlines, a
+background producer floods bulk traffic, and a few database searches ride
+along.  Concurrent arrivals coalesce into shape-bucketed micro-batches
+(full lane blocks when bursts allow, linger-bounded otherwise) executed on
+the batch engine off the event loop.
+
+    python examples/serve_alignments.py
+    python examples/serve_alignments.py --requests 64 --rate 500
+"""
+
+import argparse
+import asyncio
+import time
+
+from repro.serve import (
+    AlignmentService,
+    DeadlineExceededError,
+    Priority,
+    ServiceOverloadedError,
+)
+from repro.util.rng import make_rng
+from repro.workloads import MutationModel, mutate, random_genome
+
+
+async def run(args):
+    rng = make_rng(args.seed)
+    ref = random_genome(args.ref_length, seed=rng)
+    model = MutationModel(substitution=0.03, insertion=0.002, deletion=0.002)
+
+    def read(length):
+        pos = int(rng.integers(0, ref.size - length))
+        return mutate(ref[pos : pos + length], model, seed=rng)
+
+    outcomes = {"ok": 0, "deadline": 0, "overload": 0}
+
+    async def settle(coro):
+        try:
+            await coro
+            outcomes["ok"] += 1
+        except DeadlineExceededError:
+            outcomes["deadline"] += 1
+        except ServiceOverloadedError:
+            outcomes["overload"] += 1
+
+    async with AlignmentService(
+        backend="rowscan",
+        max_linger=0.003,
+        max_queue_depth=1024,
+        database=ref,
+        search_kwargs={"k": 3, "min_score": int(2 * 100 * 0.8)},
+    ) as svc:
+        t0 = time.perf_counter()
+        tasks = []
+        lengths = (80, 100, 120)
+        for i in range(args.requests):
+            length = int(rng.choice(lengths))
+            kind = rng.random()
+            if kind < 0.80:  # interactive score request
+                coro = svc.submit(read(length), read(length), timeout=0.25)
+            elif kind < 0.90:  # full alignment, tighter deadline
+                coro = svc.submit_align(
+                    read(length), read(length),
+                    priority=Priority.INTERACTIVE, timeout=0.25,
+                )
+            elif kind < 0.97:  # background bulk score
+                coro = svc.submit(read(length), read(length), priority=Priority.BULK)
+            else:  # database search
+                coro = svc.submit_search(read(100), priority=Priority.NORMAL)
+            tasks.append(asyncio.create_task(settle(coro)))
+            await asyncio.sleep(float(rng.exponential(1.0 / args.rate)))
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - t0
+
+        print(f"served {args.requests} mixed requests in {elapsed:.2f}s "
+              f"({args.requests / elapsed:,.0f} req/s offered at {args.rate:,.0f})")
+        print(f"outcomes: {outcomes['ok']} ok, {outcomes['deadline']} deadline-expired, "
+              f"{outcomes['overload']} load-shed\n")
+        print(svc.report())
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--requests", type=int, default=256, help="total requests")
+    ap.add_argument("--rate", type=float, default=1500.0, help="offered req/s")
+    ap.add_argument("--ref-length", type=int, default=50_000, help="database bp")
+    ap.add_argument("--seed", type=int, default=2024)
+    args = ap.parse_args()
+    asyncio.run(run(args))
+
+
+if __name__ == "__main__":
+    main()

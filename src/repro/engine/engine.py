@@ -25,6 +25,7 @@ deterministically, and ``close()`` is idempotent.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,7 +36,7 @@ from repro.core.types import AlignmentScheme
 from repro.engine.batching import ShapeBatcher, encode_pairs
 from repro.engine.executor import BatchExecutor, ExecStats, PlanExecutorStage
 from repro.engine.plans import PlanCache, global_plan_cache
-from repro.engine.stages import PipelineStats, Request, ScoreCollector, StreamPipeline
+from repro.engine.stages import Batch, PipelineStats, Request, ScoreCollector, StreamPipeline
 from repro.util.checks import check_in
 from repro.util.encoding import encode
 
@@ -44,7 +45,16 @@ __all__ = ["ExecutionEngine", "EngineStats"]
 
 @dataclass
 class EngineStats:
-    """Cumulative work accounting of one engine instance."""
+    """Cumulative work accounting of one engine instance.
+
+    Thread-safe: the serving front submits batches from executor threads
+    concurrently, so every mutation — :meth:`record`, :meth:`absorb`,
+    :meth:`absorb_exec` — happens under one lock.  The shared ``exec``
+    object must never be handed to code that mutates it under a *different*
+    lock (that was the old ``align_batch`` race); callers accumulate into a
+    private :class:`~repro.engine.executor.ExecStats` and fold it in via
+    :meth:`absorb_exec`.
+    """
 
     batches: int = 0
     exec: ExecStats = field(default_factory=ExecStats)
@@ -65,6 +75,11 @@ class EngineStats:
             self.exec.cells += ps.cells_computed
             self.exec.lane_blocks += ps.lane_blocks
             self.exec.scalar_pops += ps.scalar_pops
+
+    def absorb_exec(self, es: ExecStats):
+        """Fold a privately accumulated executor run into the accounting."""
+        with self._lock:
+            self.exec.merge(es)
 
 
 class ExecutionEngine:
@@ -205,6 +220,49 @@ class ExecutionEngine:
         self._score_pipeline(plan, requests, out)
         return out
 
+    def submit_prebatched(self, batch: Batch, backend: str | None = None) -> np.ndarray:
+        """Execute one already shape-homogeneous :class:`Batch` directly.
+
+        The online serving micro-batcher (:mod:`repro.serve`) buckets
+        requests by shape itself; this entry point runs such a batch
+        straight through the plan executor stage — no re-encoding and no
+        second :class:`~repro.engine.batching.ShapeBatcher` pass — and
+        folds the work into the engine stats.  Oversize batches execute in
+        lane-width blocks (per-pair for backends without lane batching),
+        exactly the splits and accounting :meth:`submit_batch` would
+        produce.  Scores come back in batch request order.  Thread-safe:
+        serving dispatch threads call it concurrently.
+        """
+        if self.closed:
+            from repro.util.checks import ReproError
+
+            raise ReproError("engine is closed")
+        if not batch.requests:
+            return np.empty(0, dtype=np.int64)
+        enc_q = [r.query for r in batch.requests]
+        enc_s = [r.subject for r in batch.requests]
+        name = self._resolve(backend, enc_q, enc_s)
+        plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
+        self.stats.record(name)
+        stage = PlanExecutorStage(plan)
+        lanes = self.executor.lanes if plan.lane_batching else 1
+        t0 = time.perf_counter()
+        parts = [
+            Batch(shape=batch.shape, requests=batch.requests[off : off + lanes])
+            for off in range(0, len(batch.requests), lanes)
+        ]
+        scores = np.concatenate([stage.execute(part) for part in parts])
+        dt = time.perf_counter() - t0
+        ps = PipelineStats()
+        ps.items_in = ps.candidates = ps.admitted = ps.pairs = len(batch)
+        ps.batches = len(parts)
+        ps.lane_blocks = sum(1 for p in parts if len(p) > 1)
+        ps.scalar_pops = sum(1 for p in parts if len(p) == 1)
+        ps.cells_computed = batch.cells
+        ps.stages["execute"].add(dt, len(batch))
+        self.stats.absorb(ps)
+        return scores
+
     def run(self, requests, backend: str | None = None) -> np.ndarray:
         """Compatibility wrapper: score a materialized request batch.
 
@@ -277,7 +335,14 @@ class ExecutionEngine:
         name = self._resolve(backend, enc_q, enc_s, need_traceback=True)
         plan = self.plan_cache.get_or_build(self.scheme, name, self.dtype)
         self.stats.record(name)
-        return self.executor.run_aligns(plan, enc_q, enc_s, self.stats.exec)
+        # Accumulate into a private ExecStats and fold it in under the
+        # engine lock: run_aligns mutates its stats argument under the
+        # *executor's* lock, which must never interleave with absorb()
+        # mutating the same object under the engine lock.
+        local = ExecStats()
+        results = self.executor.run_aligns(plan, enc_q, enc_s, local)
+        self.stats.absorb_exec(local)
+        return results
 
     # -- introspection -----------------------------------------------------
     def report(self) -> str:

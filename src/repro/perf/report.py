@@ -16,6 +16,7 @@ __all__ = [
     "code_sharing",
     "cache_stats_table",
     "pipeline_stats_table",
+    "service_stats_table",
     "CodeSharing",
 ]
 
@@ -129,6 +130,47 @@ def pipeline_stats_table(stats, title: str = "Streaming pipeline") -> str:
     return out + "\n\n" + summary
 
 
+def service_stats_table(service_or_stats, title: str = "Alignment service") -> str:
+    """Serving-front accounting: admission, latency, batch occupancy.
+
+    Accepts an :class:`repro.serve.AlignmentService` (adds the live queue
+    depth) or a bare :class:`repro.serve.stats.ServiceStats`.  The first
+    table summarises admission and latency percentiles; the second is the
+    batch-occupancy histogram — how full the micro-batcher actually got
+    the lanes, the serving layer's whole reason to exist.
+    """
+    stats = getattr(service_or_stats, "stats", service_or_stats)
+    snap = stats.snapshot()
+    depth = getattr(service_or_stats, "queue_depth", None)
+    rejected = snap["rejected"]
+    flush = snap["flush_causes"]
+    rows = [
+        ("submitted", snap["submitted"]),
+        ("completed", snap["completed"]),
+        ("failed", snap["failed"]),
+        (
+            "rejected",
+            ", ".join(f"{k}={v}" for k, v in sorted(rejected.items())) or "0",
+        ),
+        ("queue depth (now / hwm)", f"{depth if depth is not None else '-'} / {snap['queue_depth_hwm']}"),
+        ("batches dispatched", snap["batches"]),
+        (
+            "flush causes",
+            ", ".join(f"{k}={v}" for k, v in sorted(flush.items())) or "-",
+        ),
+        ("mean batch occupancy", f"{snap['mean_occupancy']:.1f}"),
+        ("latency p50 / p99 (ms)", f"{snap['latency_p50_ms']:.2f} / {snap['latency_p99_ms']:.2f}"),
+        ("latency mean / max (ms)", f"{snap['latency_mean_ms']:.2f} / {snap['latency_max_ms']:.2f}"),
+    ]
+    out = format_table(("metric", "value"), rows, title=title)
+    occ = stats.occupancy_histogram()
+    if occ:
+        out += "\n\n" + format_table(
+            ("batch size", "batches"), occ, title="Batch occupancy"
+        )
+    return out
+
+
 #: Subsystem classification: which top-level repro subpackages are
 #: specific to which execution target (mirroring the paper's breakdown;
 #: benchmarking/I/O/workload code is excluded like the paper excludes its
@@ -142,6 +184,7 @@ _CLASSIFICATION = {
     "sched": "shared",
     "engine": "shared",
     "search": "shared",
+    "serve": "shared",
     "baselines": None,  # comparators, not part of the library proper
     "workloads": None,  # supporting code (the paper excludes it too)
     "perf": None,

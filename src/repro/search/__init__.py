@@ -13,6 +13,7 @@ from repro.search.pipeline import (
     default_search_scheme,
     exhaustive_topk,
     search,
+    search_one,
     search_topk,
 )
 from repro.search.seeds import QueryIndex, SeedPrefilter, kmer_codes
@@ -24,6 +25,7 @@ __all__ = [
     "default_search_scheme",
     "exhaustive_topk",
     "search",
+    "search_one",
     "search_topk",
     "QueryIndex",
     "SeedPrefilter",

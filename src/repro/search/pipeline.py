@@ -282,6 +282,18 @@ def search_topk(queries, database, **kwargs) -> list[list[Hit]]:
     return search(queries, database, **kwargs).topk()
 
 
+def search_one(query, database, **kwargs) -> list[Hit]:
+    """Top-K placements of a *single* query: the per-query serving entry.
+
+    A thin wrapper over :func:`search` that the online serving front
+    (:mod:`repro.serve`) routes ``submit_search`` requests through — one
+    query in, its hit list out.  Accepts every :func:`search` keyword;
+    pass a shared ``engine`` so concurrent per-query searches reuse one
+    thread pool and plan cache instead of building their own.
+    """
+    return search_topk([query], database, **kwargs)[0]
+
+
 def exhaustive_topk(
     queries,
     database,

@@ -1,0 +1,39 @@
+"""repro.serve — online serving: asyncio front + adaptive micro-batching.
+
+The engine batches offline workloads; this subsystem serves *online*
+traffic.  Concurrent ``await service.submit(...)`` calls are admitted
+against a bounded queue (priority classes, per-request deadlines),
+coalesced into shape-bucketed micro-batches by size-or-linger policy
+(:mod:`repro.serve.batcher`), executed off the event loop through the
+engine's prebatched entry point, and resolved per-request — recreating the
+paper's lane-batching throughput win in the latency-bound regime.
+:class:`~repro.serve.client.SyncAlignmentClient` wraps it for blocking
+callers; :class:`~repro.serve.stats.ServiceStats` feeds
+:func:`repro.perf.report.service_stats_table`.
+"""
+
+from repro.serve.batcher import Bucket, MicroBatcher, PendingRequest, Priority
+from repro.serve.client import SyncAlignmentClient
+from repro.serve.service import (
+    AlignmentService,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.serve.stats import LatencyReservoir, ServiceStats
+
+__all__ = [
+    "AlignmentService",
+    "Bucket",
+    "DeadlineExceededError",
+    "LatencyReservoir",
+    "MicroBatcher",
+    "PendingRequest",
+    "Priority",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "SyncAlignmentClient",
+]

@@ -1,0 +1,144 @@
+"""Synchronous facade over :class:`~repro.serve.service.AlignmentService`.
+
+Non-async callers (scripts, notebooks, WSGI handlers) get the same
+micro-batching wins without touching asyncio: the client runs a private
+event loop on a background thread, hosts the service there, and bridges
+calls with ``run_coroutine_threadsafe``.  Concurrency still pays off —
+:meth:`SyncAlignmentClient.score_many` submits a whole workload onto the
+loop at once, so the requests coalesce into lane-filling micro-batches
+exactly as concurrent async callers would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.batcher import Priority
+from repro.serve.service import AlignmentService
+
+__all__ = ["SyncAlignmentClient"]
+
+
+class SyncAlignmentClient:
+    """Blocking client owning a background event loop + service.
+
+    Pass an existing (unstarted) :class:`AlignmentService`, or keyword
+    arguments to construct one.  Context-manager safe: ``with
+    SyncAlignmentClient(...) as client`` closes the service, stops the
+    loop, and joins the thread deterministically; ``close()`` is
+    idempotent.
+    """
+
+    def __init__(self, service: AlignmentService | None = None, **service_kwargs):
+        if service is None:
+            service = AlignmentService(**service_kwargs)
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-loop", daemon=True
+        )
+        self._closed = False
+        self._thread.start()
+        try:
+            self._call(self._start())
+        except BaseException:
+            # Don't leak the loop thread when the service refuses to start.
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+            self._loop.close()
+            raise
+
+    def _run_loop(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _start(self):
+        self.service.start()
+
+    def _call(self, coro, timeout: float | None = None):
+        if self._closed:
+            coro.close()
+            from repro.serve.service import ServiceClosedError
+
+            raise ServiceClosedError("client is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # -- blocking request entry points --------------------------------------
+    def score(self, query, subject, *, priority=Priority.NORMAL,
+              timeout: float | None = None) -> int:
+        """Score one pair (blocks until its micro-batch completes)."""
+        return self._call(
+            self.service.submit(query, subject, priority=priority, timeout=timeout)
+        )
+
+    def score_many(self, pairs, *, priority=Priority.NORMAL,
+                   timeout: float | None = None) -> list[int]:
+        """Score many pairs concurrently; returns scores in input order.
+
+        Submissions land on the loop in admission-queue-sized windows (so a
+        workload larger than the service's ``max_queue_depth`` cannot
+        reject itself) and micro-batch exactly like concurrent async
+        clients within each window.
+        """
+        pairs = list(pairs)
+        window = max(1, self.service.capacity_for(priority) // 2)
+
+        async def _many():
+            out = []
+            for off in range(0, len(pairs), window):
+                out.extend(
+                    await asyncio.gather(
+                        *(
+                            self.service.submit(q, s, priority=priority, timeout=timeout)
+                            for q, s in pairs[off : off + window]
+                        )
+                    )
+                )
+            return out
+
+        return self._call(_many())
+
+    def align(self, query, subject, *, priority=Priority.NORMAL,
+              timeout: float | None = None):
+        """Full alignment (traceback) for one pair."""
+        return self._call(
+            self.service.submit_align(query, subject, priority=priority, timeout=timeout)
+        )
+
+    def search(self, query, *, priority=Priority.NORMAL,
+               timeout: float | None = None, **overrides):
+        """Top-K database placements for one query."""
+        return self._call(
+            self.service.submit_search(
+                query, priority=priority, timeout=timeout, **overrides
+            )
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def stats(self):
+        return self.service.stats
+
+    def report(self) -> str:
+        return self.service.report()
+
+    def close(self):
+        """Close the service, stop the loop, join the thread (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._call(self.service.close())
+        finally:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+            self._loop.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,483 @@
+"""The asyncio serving front: admission control + micro-batched execution.
+
+:class:`AlignmentService` turns the offline batch engine into an online
+service.  Callers ``await service.submit(query, subject)`` (or
+``submit_align`` / ``submit_search``); the service admits the request
+against a bounded queue (per-priority capacity, optional per-request
+deadline), parks it in the adaptive shape-bucketed
+:class:`~repro.serve.batcher.MicroBatcher`, and dispatches full-or-expired
+buckets to a small thread pool where the batch runs through
+:meth:`repro.engine.ExecutionEngine.submit_prebatched` (scores),
+:meth:`~repro.engine.ExecutionEngine.align_batch` (alignments) or
+:func:`repro.search.search_one` (database search) — off the event loop, so
+the loop keeps admitting while NumPy relaxes lanes.  Per-request asyncio
+futures are resolved as batches complete.
+
+Semantics worth knowing:
+
+* **Deadlines** bound *admission-to-execution*: a request whose deadline
+  passes while it waits in a bucket is rejected with
+  :class:`DeadlineExceededError` and never executes.  A request that
+  reaches execution runs to completion even if slow.
+* **Priorities** (:class:`~repro.serve.batcher.Priority`): BULK traffic is
+  admitted only below ``bulk_fraction`` of the queue capacity and its
+  buckets flush last; INTERACTIVE/NORMAL share the full queue.
+* **Drain/close** mirror the engine's context-manager contract:
+  ``async with AlignmentService(...) as svc`` (or ``await svc.close()``)
+  flushes every bucket, resolves all in-flight futures, then shuts the
+  dispatch pool and any owned engines down deterministically; ``close()``
+  is idempotent and new submissions after it raise
+  :class:`ServiceClosedError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+
+from repro.engine.engine import ExecutionEngine
+from repro.engine.stages import Batch, Request
+from repro.serve.batcher import MicroBatcher, PendingRequest, Priority
+from repro.serve.stats import ServiceStats
+from repro.util.checks import ReproError, check_positive
+from repro.util.encoding import encode
+
+__all__ = [
+    "AlignmentService",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for serving-front errors."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been closed; no new requests are admitted."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission queue is at capacity for this priority class."""
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """The request's deadline passed before it reached execution."""
+
+
+#: Dispatch-thread sentinel: the request expired while queued for a thread.
+_EXPIRED = object()
+
+
+class AlignmentService:
+    """Asyncio alignment service with adaptive micro-batching.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.ExecutionEngine` to execute on; a private
+        one (closed with the service) is created from ``scheme``/``backend``
+        otherwise.
+    scheme / backend:
+        Used only when ``engine`` is None.
+    target_batch:
+        Micro-batch flush size; defaults to the engine's lane width so a
+        full bucket fills exactly one lane block.
+    max_linger:
+        Longest a lone request waits for batch company, in seconds.  The
+        effective linger adapts: it shrinks toward ``max_linger/10`` as the
+        backlog approaches ``max_queue_depth``.
+    max_queue_depth:
+        Admission bound on in-service requests (buffered + executing).
+    bulk_fraction:
+        Fraction of ``max_queue_depth`` available to ``Priority.BULK``.
+    dispatch_workers:
+        Threads executing dispatched batches (separate from the engine's
+        kernel pool, so a pipeline-driving search can never deadlock the
+        batches' threads).
+    database / search_kwargs:
+        Reference database (anything :func:`repro.search.search` accepts;
+        iterators are materialized once) and default keyword arguments for
+        ``submit_search``.
+    """
+
+    def __init__(
+        self,
+        engine: ExecutionEngine | None = None,
+        *,
+        scheme=None,
+        backend: str = "auto",
+        target_batch: int | None = None,
+        max_linger: float = 0.002,
+        max_queue_depth: int = 4096,
+        bulk_fraction: float = 0.5,
+        dispatch_workers: int = 4,
+        database=None,
+        search_kwargs: dict | None = None,
+    ):
+        self._owned_engine = None
+        if engine is None:
+            engine = self._owned_engine = ExecutionEngine(scheme, backend=backend)
+        self.engine = engine
+        if target_batch is None:
+            target_batch = engine.executor.lanes
+        self.max_queue_depth = check_positive(max_queue_depth, "max_queue_depth")
+        if not 0.0 <= bulk_fraction <= 1.0:
+            from repro.util.checks import ValidationError
+
+            raise ValidationError(
+                f"bulk_fraction must be in [0, 1], got {bulk_fraction}"
+            )
+        self.bulk_fraction = bulk_fraction
+        self.dispatch_workers = check_positive(dispatch_workers, "dispatch_workers")
+        self.batcher = MicroBatcher(target_batch=target_batch, max_linger=max_linger)
+        self.stats = ServiceStats()
+        if database is not None and hasattr(database, "__next__"):
+            database = list(database)  # an iterator would be consumed once
+        self._database = database
+        self._search_kwargs = dict(search_kwargs or {})
+        if "engine" in self._search_kwargs:
+            from repro.util.checks import ValidationError
+
+            raise ValidationError(
+                "search_kwargs cannot carry 'engine': the service manages "
+                "per-scheme search engines itself"
+            )
+        self._search_engines: dict = {}  # scheme cache_key → ExecutionEngine
+        self._loop = None
+        self._wake: asyncio.Event | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._flusher: asyncio.Task | None = None
+        self._inflight: set = set()
+        self._depth = 0  # admitted, not yet settled
+        self._next_key = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently in service (buffered + executing)."""
+        return self._depth
+
+    def start(self):
+        """Bind the running event loop and start the linger flusher.
+
+        Idempotent; called automatically by the first submission.  Must run
+        on the event loop the service will serve from.
+        """
+        if self._started:
+            return self
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.dispatch_workers, thread_name_prefix="repro-serve"
+        )
+        self._flusher = self._loop.create_task(self._flush_loop())
+        self._started = True
+        return self
+
+    async def drain(self):
+        """Dispatch every buffered bucket and await all in-flight work."""
+        if not self._started:
+            return
+        for bucket in self.batcher.flush_all():
+            self._dispatch(bucket, "drain")
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def close(self):
+        """Drain, then shut the flusher/pool/owned engines down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        if self._flusher is not None:
+            self._flusher.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._flusher
+            self._flusher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for eng in self._search_engines.values():
+            eng.close()
+        self._search_engines.clear()
+        if self._owned_engine is not None:
+            self._owned_engine.close()
+
+    async def __aenter__(self):
+        return self.start()
+
+    async def __aexit__(self, *exc):
+        await self.close()
+        return False
+
+    # -- admission ----------------------------------------------------------
+    def capacity_for(self, priority) -> int:
+        """Admission-queue capacity available to a priority class."""
+        if Priority(priority) is Priority.BULK:
+            return max(1, int(self.max_queue_depth * self.bulk_fraction))
+        return self.max_queue_depth
+
+    def _admit(
+        self, kind, query, subject, priority, timeout, meta=None
+    ) -> PendingRequest:
+        if self._closed:
+            self.stats.note_reject("closed")
+            raise ServiceClosedError("service is closed")
+        self.start()
+        priority = Priority(priority)
+        cap = self.capacity_for(priority)
+        if self._depth >= cap:
+            self.stats.note_reject("queue_full")
+            raise ServiceOverloadedError(
+                f"queue depth {self._depth} at {priority.name} capacity {cap}"
+            )
+        enc_q = encode(query)
+        enc_s = encode(subject) if subject is not None else None
+        now = self._loop.time()
+        req = PendingRequest(
+            key=self._next_key,
+            kind=kind,
+            query=enc_q,
+            subject=enc_s,
+            future=self._loop.create_future(),
+            priority=priority,
+            deadline=now + timeout if timeout is not None else None,
+            submitted=now,
+            meta=meta,
+        )
+        self._next_key += 1
+        self._depth += 1
+        req.future.add_done_callback(self._on_settled)
+        self.stats.note_submit(self._depth)
+        return req
+
+    def _on_settled(self, fut):
+        self._depth -= 1
+
+    def _enqueue(self, req: PendingRequest):
+        full = self.batcher.add(req, self._loop.time())
+        if full is not None:
+            self._dispatch(full, "size")
+        else:
+            self._wake.set()
+
+    # -- request entry points ----------------------------------------------
+    async def submit(
+        self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
+    ) -> int:
+        """Score one pair; resolves when its micro-batch completes."""
+        req = self._admit("score", query, subject, priority, timeout)
+        self._enqueue(req)
+        return await req.future
+
+    async def submit_align(
+        self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
+    ):
+        """Full alignment (traceback) for one pair, micro-batched pair-parallel."""
+        req = self._admit("align", query, subject, priority, timeout)
+        self._enqueue(req)
+        return await req.future
+
+    async def submit_search(
+        self,
+        query,
+        *,
+        priority=Priority.NORMAL,
+        timeout: float | None = None,
+        **overrides,
+    ):
+        """Top-K database placements for one query (requires ``database=``).
+
+        Routed to :func:`repro.search.search_one` on a dispatch thread;
+        search requests are not micro-batched (each drives its own
+        streaming pipeline) but share admission control and deadlines.
+        ``overrides`` update the service's default ``search_kwargs``;
+        a custom ``scheme`` gets its own cached search engine, while
+        ``engine`` is service-managed and may not be overridden.
+        """
+        from repro.util.checks import ValidationError
+
+        if self._database is None:
+            raise ValidationError("service was created without a database")
+        if "engine" in overrides:
+            raise ValidationError(
+                "submit_search cannot override 'engine': the service manages "
+                "per-scheme search engines itself"
+            )
+        meta = dict(self._search_kwargs)
+        meta.update(overrides)
+        req = self._admit("search", query, None, priority, timeout, meta=meta)
+        task = self._loop.create_task(self._run_search(req))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+        return await req.future
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch(self, bucket, cause: str):
+        now = self._loop.time()
+        live = []
+        for req in bucket.requests:
+            if req.future.done():  # caller cancelled while buffered
+                continue
+            if req.deadline is not None and now >= req.deadline:
+                self.stats.note_reject("deadline")
+                req.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline passed {now - req.deadline:.4f}s before execution"
+                    )
+                )
+                continue
+            live.append(req)
+        if not live:
+            return
+        task = self._loop.create_task(
+            self._run_batch(bucket.kind, bucket.shape, live, cause)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _execute_kind(self, kind: str, shape, live: list):
+        """Runs on a dispatch thread: final deadline gate, then the kernels.
+
+        Dispatch-time admission is not enough under pool saturation — a
+        batch can sit in the thread queue past its members' deadlines, and
+        the contract is that such requests never execute.  Returns
+        ``(executable, expired, results)``; results align with executable.
+        """
+        now = self._loop.time()  # same monotonic clock the deadlines use
+        executable, expired = [], []
+        for r in live:
+            if r.deadline is not None and now >= r.deadline:
+                expired.append(r)
+            else:
+                executable.append(r)
+        if not executable:
+            return executable, expired, ()
+        if kind == "score":
+            batch = Batch(
+                shape=shape,
+                requests=[
+                    Request(key=i, query=r.query, subject=r.subject)
+                    for i, r in enumerate(executable)
+                ],
+            )
+            results = self.engine.submit_prebatched(batch)
+        else:  # align
+            results = self.engine.align_batch(
+                [r.query for r in executable], [r.subject for r in executable]
+            )
+        return executable, expired, results
+
+    async def _run_batch(self, kind: str, shape, live: list, cause: str):
+        try:
+            executable, expired, results = await self._loop.run_in_executor(
+                self._pool, self._execute_kind, kind, shape, live
+            )
+        except Exception as exc:
+            for r in live:
+                self.stats.note_failed()
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            return
+        if executable:
+            # Occupancy counts what actually executed: requests expired by
+            # the thread-side deadline gate never filled a lane.
+            self.stats.note_batch(len(executable), cause)
+        for r in expired:
+            self.stats.note_reject("deadline")
+            if not r.future.done():
+                r.future.set_exception(
+                    DeadlineExceededError("deadline passed before execution")
+                )
+        now = self._loop.time()
+        for r, res in zip(executable, results):
+            if not r.future.done():
+                r.future.set_result(int(res) if kind == "score" else res)
+                self.stats.note_complete(now - r.submitted)
+
+    def _engine_for_search(self, scheme) -> ExecutionEngine:
+        """Shared per-scheme search engine (loop thread only)."""
+        key = scheme.cache_key()
+        eng = self._search_engines.get(key)
+        if eng is None:
+            eng = self._search_engines[key] = ExecutionEngine(
+                scheme, backend="rowscan"
+            )
+        return eng
+
+    def _execute_search(self, req: PendingRequest, engine, kwargs):
+        """Runs on a dispatch thread: deadline gate, then the search."""
+        from repro.search.pipeline import search_one
+
+        now = self._loop.time()
+        if req.deadline is not None and now >= req.deadline:
+            return _EXPIRED
+        return search_one(req.query, self._database, engine=engine, **kwargs)
+
+    async def _run_search(self, req: PendingRequest):
+        from repro.search.pipeline import default_search_scheme
+
+        kwargs = dict(req.meta)
+        scheme = kwargs.setdefault("scheme", default_search_scheme())
+        engine = self._engine_for_search(scheme)
+        try:
+            hits = await self._loop.run_in_executor(
+                self._pool, self._execute_search, req, engine, kwargs
+            )
+        except Exception as exc:
+            self.stats.note_failed()
+            if not req.future.done():
+                req.future.set_exception(exc)
+            return
+        if hits is _EXPIRED:
+            self.stats.note_reject("deadline")
+            if not req.future.done():
+                req.future.set_exception(
+                    DeadlineExceededError("deadline passed before execution")
+                )
+            return
+        if not req.future.done():
+            req.future.set_result(hits)
+            self.stats.note_complete(self._loop.time() - req.submitted)
+
+    async def _flush_loop(self):
+        """Single linger timer: dispatches buckets whose wait has expired."""
+        while True:
+            now = self._loop.time()
+            linger = self.batcher.effective_linger(self._depth, self.max_queue_depth)
+            for bucket in self.batcher.due(now, linger):
+                self._dispatch(bucket, "linger")
+            nxt = self.batcher.next_due(linger)
+            self._wake.clear()
+            if nxt is None:
+                await self._wake.wait()
+            else:
+                delay = max(0.0, nxt - self._loop.time())
+                with suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._wake.wait(), timeout=delay)
+
+    # -- introspection ------------------------------------------------------
+    def report(self) -> str:
+        """Service-level stats table (perf.report format)."""
+        from repro.perf.report import service_stats_table
+
+        return service_stats_table(self)
+
+    def __repr__(self):
+        return (
+            f"AlignmentService(target_batch={self.batcher.target_batch}, "
+            f"max_linger={self.batcher.max_linger}, depth={self._depth}, "
+            f"closed={self._closed})"
+        )

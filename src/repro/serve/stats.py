@@ -1,0 +1,146 @@
+"""Service-level statistics: latency percentiles, occupancy, rejections.
+
+The serving front's figure of merit is the latency/throughput trade the
+micro-batcher strikes, so the stats record both sides: per-request
+latencies (submission → resolution, a bounded reservoir so an unbounded
+service doesn't grow an unbounded sample) and the occupancy of every
+dispatched batch (how full the lanes actually were), plus the admission
+decisions — queue-depth high-water mark and rejection counts by cause.
+Rendered by :func:`repro.perf.report.service_stats_table`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["LatencyReservoir", "ServiceStats", "OCCUPANCY_EDGES"]
+
+#: Upper edges of the batch-occupancy histogram buckets (last is open).
+OCCUPANCY_EDGES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class LatencyReservoir:
+    """Bounded sample of request latencies with percentile queries."""
+
+    def __init__(self, maxlen: int = 8192):
+        self._sample: deque = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, latency: float):
+        self._sample.append(latency)
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample (0 if empty)."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+class ServiceStats:
+    """Cumulative accounting of one :class:`~repro.serve.AlignmentService`.
+
+    Thread-safe: the asyncio loop thread mutates it, sync-facade threads
+    read snapshots concurrently.
+    """
+
+    def __init__(self, latency_sample: int = 8192):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected: dict = {}  # cause → count (queue_full, deadline, closed)
+        self.batches = 0
+        self.batched_requests = 0
+        self.flush_causes: dict = {}  # size | linger | drain → count
+        self.occupancy: dict = {}  # exact batch size → count
+        self.queue_depth_hwm = 0
+        self.latency = LatencyReservoir(latency_sample)
+
+    # -- recording (loop thread) -------------------------------------------
+    def note_submit(self, depth: int):
+        with self._lock:
+            self.submitted += 1
+            if depth > self.queue_depth_hwm:
+                self.queue_depth_hwm = depth
+
+    def note_reject(self, cause: str):
+        with self._lock:
+            self.rejected[cause] = self.rejected.get(cause, 0) + 1
+
+    def note_batch(self, size: int, cause: str):
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.flush_causes[cause] = self.flush_causes.get(cause, 0) + 1
+            self.occupancy[size] = self.occupancy.get(size, 0) + 1
+
+    def note_complete(self, latency: float):
+        with self._lock:
+            self.completed += 1
+            self.latency.add(latency)
+
+    def note_failed(self):
+        with self._lock:
+            self.failed += 1
+
+    # -- reading ------------------------------------------------------------
+    @property
+    def total_rejected(self) -> int:
+        with self._lock:
+            return sum(self.rejected.values())
+
+    @property
+    def mean_occupancy(self) -> float:
+        with self._lock:
+            return self.batched_requests / self.batches if self.batches else 0.0
+
+    def occupancy_histogram(self) -> list[tuple[str, int]]:
+        """(bucket label, batches) rows over power-of-two occupancy bins."""
+        with self._lock:
+            occ = dict(self.occupancy)
+        rows = []
+        lo = 1
+        for hi in OCCUPANCY_EDGES:
+            count = sum(c for size, c in occ.items() if lo <= size <= hi)
+            label = str(hi) if hi == lo else f"{lo}-{hi}"
+            if count:
+                rows.append((label, count))
+            lo = hi + 1
+        tail = sum(c for size, c in occ.items() if size >= lo)
+        if tail:
+            rows.append((f"{lo}+", tail))
+        return rows
+
+    def snapshot(self) -> dict:
+        """JSON-shaped copy of every counter (for benches and reports)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": dict(self.rejected),
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "flush_causes": dict(self.flush_causes),
+                "mean_occupancy": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+                "queue_depth_hwm": self.queue_depth_hwm,
+                "latency_p50_ms": self.latency.percentile(50) * 1e3,
+                "latency_p99_ms": self.latency.percentile(99) * 1e3,
+                "latency_mean_ms": self.latency.mean * 1e3,
+                "latency_max_ms": self.latency.max * 1e3,
+            }

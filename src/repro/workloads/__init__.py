@@ -7,6 +7,7 @@ from repro.workloads.mutate import MutationModel, mutate
 from repro.workloads.reads import IlluminaProfile, ReadSet, read_pairs, simulate_reads
 from repro.workloads.fasta import (
     FastaRecord,
+    iter_fasta,
     read_fasta,
     read_fastq,
     write_fasta,
@@ -33,6 +34,7 @@ __all__ = [
     "read_pairs",
     "simulate_reads",
     "FastaRecord",
+    "iter_fasta",
     "read_fasta",
     "read_fastq",
     "write_fasta",

@@ -18,7 +18,14 @@ import numpy as np
 from repro.util.checks import ValidationError
 from repro.util.encoding import CHAR_TO_CODE, decode
 
-__all__ = ["FastaRecord", "read_fasta", "write_fasta", "read_fastq", "write_fastq"]
+__all__ = [
+    "FastaRecord",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "read_fastq",
+    "write_fastq",
+]
 
 
 @dataclass
@@ -50,19 +57,25 @@ def _encode_line(line: str, skip_invalid: bool) -> np.ndarray:
     return codes
 
 
-def read_fasta(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
-    """Parse a FASTA file (path, file object, or literal text)."""
-    text = _slurp(path_or_text)
-    records: list[FastaRecord] = []
+def iter_fasta(path_or_text, skip_invalid: bool = False):
+    """Stream FASTA records one at a time (path, file object, or text).
+
+    The generator holds at most one record in memory, so a multi-record
+    reference file far larger than RAM can be scanned end to end — feed it
+    straight into :func:`repro.workloads.chunks.chunk_records` and the
+    search pipeline windows each record while the next is still unread.
+    Yields nothing for empty input; :func:`read_fasta` adds the
+    no-records check for callers that need a materialized list.
+    """
     name = desc = None
     chunks: list[np.ndarray] = []
-    for line in text.splitlines():
+    for line in _lines(path_or_text):
         line = line.strip()
         if not line:
             continue
         if line.startswith(">"):
             if name is not None:
-                records.append(_finish(name, desc, chunks))
+                yield _finish(name, desc, chunks)
             head = line[1:].split(None, 1)
             name = head[0] if head else ""
             desc = head[1] if len(head) > 1 else ""
@@ -72,7 +85,12 @@ def read_fasta(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
                 raise ValidationError("FASTA data before the first header")
             chunks.append(_encode_line(line, skip_invalid))
     if name is not None:
-        records.append(_finish(name, desc, chunks))
+        yield _finish(name, desc, chunks)
+
+
+def read_fasta(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
+    """Parse a whole FASTA file (thin list wrapper over :func:`iter_fasta`)."""
+    records = list(iter_fasta(path_or_text, skip_invalid))
     if not records:
         raise ValidationError("no FASTA records found")
     return records
@@ -102,7 +120,7 @@ def write_fasta(records, path=None, width: int = 70) -> str:
 
 def read_fastq(path_or_text, skip_invalid: bool = False) -> list[FastaRecord]:
     """Parse a FASTQ file (4-line records)."""
-    lines = [ln for ln in _slurp(path_or_text).splitlines() if ln.strip()]
+    lines = [ln.rstrip("\r\n") for ln in _lines(path_or_text) if ln.strip()]
     if len(lines) % 4 != 0:
         raise ValidationError("FASTQ line count is not a multiple of 4")
     records = []
@@ -138,12 +156,24 @@ def write_fastq(records, path=None) -> str:
     return data
 
 
-def _slurp(path_or_text) -> str:
+def _lines(path_or_text):
+    """Yield input lines lazily: the one place the path / file object /
+    literal-text dispatch lives.  Paths stream from disk, not via a slurp."""
     if hasattr(path_or_text, "read"):
-        return path_or_text.read()
+        try:  # file object: usually already a line iterator
+            it = iter(path_or_text)
+        except TypeError:  # read()-only stream (no __iter__): slurp it
+            yield from path_or_text.read().splitlines()
+            return
+        yield from it
+        return
     if isinstance(path_or_text, Path):
-        return path_or_text.read_text()
+        with open(path_or_text) as fh:
+            yield from fh
+        return
     text = str(path_or_text)
     if "\n" in text:  # literal record text, not a filename
-        return text
-    return Path(text).read_text()
+        yield from text.splitlines()
+        return
+    with open(text) as fh:
+        yield from fh

@@ -446,3 +446,162 @@ class TestEngineFasterThanSequential:
         assert (t2 - t1) < (t1 - t0), (
             f"engine {t2 - t1:.3f}s not faster than sequential {t1 - t0:.3f}s"
         )
+
+
+class TestSubmitPrebatched:
+    """The serving front's entry point: same-shape batches, no re-bucketing."""
+
+    def _batch(self, count, qlen=24, slen=32, seed=23):
+        rng = np.random.default_rng(seed)
+        reqs = [
+            Request(
+                key=k,
+                query=rng.integers(0, 4, qlen).astype(np.uint8),
+                subject=rng.integers(0, 4, slen).astype(np.uint8),
+            )
+            for k in range(count)
+        ]
+        from repro.engine import Batch
+
+        return Batch(shape=(qlen, slen), requests=reqs)
+
+    def test_matches_submit_batch(self):
+        batch = self._batch(12)
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            direct = eng.submit_batch(
+                [r.query for r in batch.requests], [r.subject for r in batch.requests]
+            )
+            pre = eng.submit_prebatched(batch)
+        np.testing.assert_array_equal(pre, direct)
+
+    def test_single_request_scalar_path(self):
+        batch = self._batch(1)
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            pre = eng.submit_prebatched(batch)
+            assert pre.shape == (1,)
+            assert eng.stats.pipeline.scalar_pops == 1
+
+    def test_empty_batch(self):
+        from repro.engine import Batch
+
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            out = eng.submit_prebatched(Batch(shape=(0, 0), requests=[]))
+            assert out.size == 0 and eng.stats.batches == 0
+
+    def test_stats_accounted(self):
+        batch = self._batch(8, qlen=16, slen=20)
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            eng.submit_prebatched(batch)
+            st = eng.stats
+            assert st.batches == 1
+            assert st.exec.pairs == 8
+            assert st.exec.cells == 8 * 16 * 20
+            assert st.pipeline.lane_blocks == 1
+            assert st.pipeline.stages["execute"].calls == 1
+
+    def test_oversize_batch_splits_at_lane_width(self):
+        # A serving bucket larger than the engine's lane width must execute
+        # (and be accounted) as the same lane blocks submit_batch produces.
+        batch = self._batch(10)
+        with ExecutionEngine(backend="rowscan", lanes=4, plan_cache=PlanCache()) as eng:
+            pre = eng.submit_prebatched(batch)
+            assert eng.stats.pipeline.batches == 3  # 4 + 4 + 2
+            assert eng.stats.pipeline.lane_blocks == 3
+            assert eng.stats.pipeline.scalar_pops == 0
+            direct = eng.submit_batch(
+                [r.query for r in batch.requests], [r.subject for r in batch.requests]
+            )
+        np.testing.assert_array_equal(pre, direct)
+
+    def test_closed_engine_rejects_prebatched(self):
+        batch = self._batch(2)
+        eng = ExecutionEngine(backend="rowscan", plan_cache=PlanCache())
+        eng.close()
+        with pytest.raises(ReproError):
+            eng.submit_prebatched(batch)
+
+    def test_non_lane_backend_falls_back_per_pair(self):
+        batch = self._batch(4)
+        with ExecutionEngine(backend="reference", plan_cache=PlanCache()) as eng:
+            pre = eng.submit_prebatched(batch)
+            # Per-pair execution must be accounted as scalar pops (the same
+            # split submit_batch records via ShapeBatcher(1)), not as a
+            # phantom lane block.
+            assert eng.stats.pipeline.scalar_pops == 4
+            assert eng.stats.pipeline.lane_blocks == 0
+            direct = eng.submit_batch(
+                [r.query for r in batch.requests], [r.subject for r in batch.requests]
+            )
+            assert eng.stats.pipeline.scalar_pops == 8
+        np.testing.assert_array_equal(pre, direct)
+
+
+class TestEngineStatsThreadSafety:
+    """Concurrent serving dispatch threads hammer one engine's stats."""
+
+    def test_concurrent_submit_batch_counts_exactly(self):
+        import threading
+
+        threads, calls, pairs_per_call = 8, 12, 24
+        qs, ss = _mixed_pairs(pairs_per_call, seed=29, lengths=(16, 24))
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            eng.submit_batch(qs[:2], ss[:2])  # warm the plan
+            base_batches = eng.stats.batches
+            base_pairs = eng.stats.exec.pairs
+            errors = []
+
+            def hammer():
+                try:
+                    for _ in range(calls):
+                        eng.submit_batch(qs, ss)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            ts = [threading.Thread(target=hammer) for _ in range(threads)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            assert not errors
+            # Every counter must land exactly: a lost update under racing
+            # locks would show up as a short count.
+            assert eng.stats.batches - base_batches == threads * calls
+            assert (
+                eng.stats.exec.pairs - base_pairs
+                == threads * calls * pairs_per_call
+            )
+            assert eng.stats.pipeline.pairs == eng.stats.exec.pairs
+
+    def test_concurrent_mixed_batch_and_align(self):
+        import threading
+
+        qs, ss = _mixed_pairs(10, seed=31, lengths=(16, 20))
+        with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+            errors = []
+
+            def score_hammer():
+                try:
+                    for _ in range(6):
+                        eng.submit_batch(qs, ss)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def align_hammer():
+                try:
+                    for _ in range(6):
+                        eng.align_batch(qs[:4], ss[:4])
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            ts = [threading.Thread(target=score_hammer) for _ in range(3)] + [
+                threading.Thread(target=align_hammer) for _ in range(3)
+            ]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            assert not errors
+            # submit_batch pairs flow through the pipeline, align pairs
+            # through the private ExecStats fold — both must be exact.
+            assert eng.stats.exec.pairs == 3 * 6 * 10 + 3 * 6 * 4
+            assert eng.stats.batches == 6 * 6

@@ -25,6 +25,7 @@ from repro.workloads import (
     TABLE1_SEQUENCES,
     chunk_records,
     chunk_sequence,
+    iter_fasta,
     mutate,
     random_genome,
     read_fasta,
@@ -376,3 +377,95 @@ class TestTable1:
         score = align_score(pair.query, pair.subject, scheme)
         # Related genomes score clearly above random expectation.
         assert score > 0
+
+
+class TestIterFasta:
+    def _records(self, count=5, length=300, seed=60):
+        return [
+            FastaRecord(f"rec{i}", random_genome(length, seed=seed + i))
+            for i in range(count)
+        ]
+
+    def test_matches_read_fasta(self):
+        recs = self._records()
+        text = write_fasta(recs)
+        streamed = list(iter_fasta(text))
+        slurped = read_fasta(text)
+        assert [r.name for r in streamed] == [r.name for r in slurped]
+        for a, b in zip(streamed, slurped):
+            np.testing.assert_array_equal(a.sequence, b.sequence)
+
+    def test_path_streams_lazily(self, tmp_path):
+        recs = self._records(count=4)
+        p = tmp_path / "multi.fa"
+        write_fasta(recs, p)
+        it = iter_fasta(str(p))
+        first = next(it)
+        assert first.name == "rec0"
+        np.testing.assert_array_equal(first.sequence, recs[0].sequence)
+        assert [r.name for r in it] == ["rec1", "rec2", "rec3"]
+
+    def test_one_record_in_memory_at_a_time(self):
+        # A record is yielded before any line of the *next* record is read.
+        recs = self._records(count=3, length=80)
+        lines = write_fasta(recs).splitlines()
+        consumed = []
+
+        def counting_lines():
+            for ln in lines:
+                consumed.append(ln)
+                yield ln
+
+        class FileLike:
+            def __init__(self, gen):
+                self._gen = gen
+
+            def read(self):  # pragma: no cover - iter_fasta must not slurp
+                raise AssertionError("iter_fasta slurped the file")
+
+            def __iter__(self):
+                return self._gen
+
+        it = iter_fasta(FileLike(counting_lines()))
+        next(it)
+        # rec0 is complete once rec1's header is seen; rec2's lines unread.
+        assert any(ln.startswith(">rec1") for ln in consumed)
+        assert not any(ln.startswith(">rec2") for ln in consumed)
+
+    def test_read_only_stream_object_accepted(self):
+        # Pre-streaming behavior: any object with .read() parsed, even
+        # without __iter__ (e.g. a decoding adapter stream).
+        recs = self._records(count=2, length=60)
+        text = write_fasta(recs)
+
+        class ReadOnly:
+            def read(self):
+                return text
+
+        back = list(iter_fasta(ReadOnly()))
+        assert [r.name for r in back] == [r.name for r in recs]
+        for a, b in zip(back, recs):
+            np.testing.assert_array_equal(a.sequence, b.sequence)
+
+    def test_empty_input_yields_nothing_but_read_raises(self):
+        assert list(iter_fasta("\n")) == []
+        with pytest.raises(ValidationError):
+            read_fasta("\n")
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ValidationError):
+            list(iter_fasta("ACGT\n>x\nACGT\n"))
+
+    def test_chunk_records_accepts_iterator_end_to_end(self, tmp_path):
+        # A streamed multi-record reference scans end to end: the chunk
+        # iterator pulls records one at a time from the parser.
+        recs = self._records(count=3, length=500, seed=70)
+        p = tmp_path / "ref.fa"
+        write_fasta(recs, p)
+        streamed = list(chunk_records(iter_fasta(p), window=128, overlap=32))
+        materialized = list(chunk_records(read_fasta(p), window=128, overlap=32))
+        assert [(c.id, c.record, c.start) for c in streamed] == [
+            (c.id, c.record, c.start) for c in materialized
+        ]
+        for a, b in zip(streamed, materialized):
+            np.testing.assert_array_equal(a.sequence, b.sequence)
