@@ -17,7 +17,7 @@ from repro.engine.batching import (
     group_by_shape,
     request_graph,
 )
-from repro.engine.engine import EngineStats, ExecutionEngine
+from repro.engine.engine import EngineConfig, EngineStats, ExecutionEngine
 from repro.engine.executor import BatchExecutor, ExecStats, PlanExecutorStage
 from repro.engine.plans import ExecutionPlan, PlanCache, global_plan_cache
 from repro.engine.stages import (
@@ -35,6 +35,7 @@ __all__ = [
     "encode_pairs",
     "group_by_shape",
     "request_graph",
+    "EngineConfig",
     "EngineStats",
     "ExecutionEngine",
     "BatchExecutor",

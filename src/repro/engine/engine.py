@@ -37,10 +37,54 @@ from repro.engine.batching import ShapeBatcher, encode_pairs
 from repro.engine.executor import BatchExecutor, ExecStats, PlanExecutorStage
 from repro.engine.plans import PlanCache, global_plan_cache
 from repro.engine.stages import Batch, PipelineStats, Request, ScoreCollector, StreamPipeline
-from repro.util.checks import check_in
+from repro.util.checks import check_in, check_no_callables
 from repro.util.encoding import encode
 
-__all__ = ["ExecutionEngine", "EngineStats"]
+__all__ = ["EngineConfig", "ExecutionEngine", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Picklable-by-construction recipe for an :class:`ExecutionEngine`.
+
+    An engine itself owns a thread pool and cached kernels — none of which
+    can cross a process boundary — so subsystems that rebuild engines in
+    worker processes (:mod:`repro.shard`) ship this value object instead
+    and call :meth:`build` on the far side.  ``dtype`` is the NumPy dtype
+    *name* (a string) for the same reason.
+    """
+
+    backend: str = "rowscan"
+    dtype: str = "int32"
+    max_workers: int | None = None
+    lanes: int = 64
+    max_in_flight: int = 4096
+
+    def __post_init__(self):
+        check_no_callables(self)
+        np.dtype(self.dtype)  # fail fast on nonsense dtype names
+
+    def build(
+        self,
+        scheme: AlignmentScheme | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> "ExecutionEngine":
+        """Construct the engine (optionally overriding the worker count).
+
+        The override exists for shard workers: ``max_workers=None`` in the
+        config means "size for the host", and the worker divides the host's
+        cores among its sibling processes at build time.
+        """
+        workers = max_workers if max_workers is not None else self.max_workers
+        return ExecutionEngine(
+            scheme,
+            backend=self.backend,
+            dtype=np.dtype(self.dtype),
+            max_workers=workers,
+            lanes=self.lanes,
+            max_in_flight=self.max_in_flight,
+        )
 
 
 @dataclass

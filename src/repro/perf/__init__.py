@@ -8,13 +8,17 @@ from repro.perf.report import (
     code_sharing,
     format_table,
     pipeline_stats_table,
+    router_stats_table,
     service_stats_table,
+    shard_stats_table,
 )
 
 __all__ = [
     "cache_stats_table",
     "pipeline_stats_table",
+    "router_stats_table",
     "service_stats_table",
+    "shard_stats_table",
     "Measurement",
     "measure_gcups",
     "DEVICE_POWER",

@@ -17,6 +17,8 @@ __all__ = [
     "cache_stats_table",
     "pipeline_stats_table",
     "service_stats_table",
+    "shard_stats_table",
+    "router_stats_table",
     "CodeSharing",
 ]
 
@@ -171,6 +173,114 @@ def service_stats_table(service_or_stats, title: str = "Alignment service") -> s
     return out
 
 
+def shard_stats_table(run_stats, title: str = "Sharded search") -> str:
+    """Per-shard work/timing rows plus the parent-side merge accounting.
+
+    ``run_stats`` is a :class:`repro.shard.stats.ShardRunStats`.  The
+    per-shard rows show how evenly the round-robin chunk assignment spread
+    the work (chunks owned, pairs verified, cells relaxed) and where each
+    shard's time went (its own search wall time vs. how long its finished
+    result waited on the queue); the summary adds the phases only the
+    parent sees — process spawn, merge, end-to-end.
+    """
+    rows = [
+        (
+            w.shard_id,
+            w.chunks,
+            w.candidates,
+            w.admitted,
+            w.pairs,
+            w.cells_computed,
+            w.hits,
+            f"{w.search_s * 1e3:.1f}",
+            f"{w.queue_wait_s * 1e3:.1f}",
+        )
+        for w in run_stats.workers
+    ]
+    out = format_table(
+        (
+            "shard",
+            "chunks",
+            "candidates",
+            "admitted",
+            "pairs",
+            "cells",
+            "hits",
+            "search ms",
+            "queue wait ms",
+        ),
+        rows,
+        title=f"{title} ({run_stats.num_shards} shards)",
+    )
+    totals = run_stats.totals()
+    searches = [w.search_s for w in run_stats.workers]
+    summary = format_table(
+        ("metric", "value"),
+        [
+            ("chunks scanned", totals["chunks"]),
+            ("candidate pairs", totals["candidates"]),
+            ("pairs verified", totals["pairs"]),
+            ("cells computed", totals["cells_computed"]),
+            ("cells skipped", totals["cells_skipped"]),
+            ("shard search s (mean / max)",
+             f"{sum(searches) / len(searches):.3f} / {max(searches):.3f}"
+             if searches else "-"),
+            ("process spawn (ms)", f"{run_stats.spawn_s * 1e3:.1f}"),
+            ("merge (ms)", f"{run_stats.merge_s * 1e3:.1f}"),
+            ("end-to-end (s)", f"{run_stats.total_s:.3f}"),
+        ],
+        title="Run accounting",
+    )
+    return out + "\n\n" + summary
+
+
+def router_stats_table(router, title: str = "Shard router") -> str:
+    """Aggregate + per-shard serving accounting for a shard router.
+
+    ``router`` is a :class:`repro.shard.router.ShardRouter`; the aggregate
+    latency percentiles come from the pooled per-shard reservoirs.
+    """
+    snap = router.stats.snapshot()
+    agg = format_table(
+        ("metric", "value"),
+        [
+            ("shards", snap["shards"]),
+            ("submitted", snap["submitted"]),
+            ("completed", snap["completed"]),
+            ("failed", snap["failed"]),
+            (
+                "rejected",
+                ", ".join(f"{k}={v}" for k, v in sorted(snap["rejected"].items()))
+                or "0",
+            ),
+            ("batches dispatched", snap["batches"]),
+            ("mean batch occupancy", f"{snap['mean_occupancy']:.1f}"),
+            (
+                "latency p50 / p99 (ms)",
+                f"{snap['latency_p50_ms']:.2f} / {snap['latency_p99_ms']:.2f}",
+            ),
+        ],
+        title=title,
+    )
+    rows = [
+        (
+            i,
+            s["submitted"],
+            s["completed"],
+            s["batches"],
+            f"{s['mean_occupancy']:.1f}",
+            f"{s['latency_p99_ms']:.2f}",
+        )
+        for i, s in enumerate(snap["per_shard"])
+    ]
+    per_shard = format_table(
+        ("shard", "submitted", "completed", "batches", "mean occ", "p99 ms"),
+        rows,
+        title="Per-shard services",
+    )
+    return agg + "\n\n" + per_shard
+
+
 #: Subsystem classification: which top-level repro subpackages are
 #: specific to which execution target (mirroring the paper's breakdown;
 #: benchmarking/I/O/workload code is excluded like the paper excludes its
@@ -185,6 +295,7 @@ _CLASSIFICATION = {
     "engine": "shared",
     "search": "shared",
     "serve": "shared",
+    "shard": "shared",
     "baselines": None,  # comparators, not part of the library proper
     "workloads": None,  # supporting code (the paper excludes it too)
     "perf": None,

@@ -9,21 +9,25 @@ point and :func:`exhaustive_topk` for the full-DP oracle.
 
 from repro.search.pipeline import (
     BandedVerifyStage,
+    SearchConfig,
     SearchRun,
     default_search_scheme,
     exhaustive_topk,
+    resolve_windowing,
     search,
     search_one,
     search_topk,
 )
 from repro.search.seeds import QueryIndex, SeedPrefilter, kmer_codes
-from repro.search.topk import Hit, TopKReducer
+from repro.search.topk import Hit, TopKReducer, merge_topk
 
 __all__ = [
     "BandedVerifyStage",
+    "SearchConfig",
     "SearchRun",
     "default_search_scheme",
     "exhaustive_topk",
+    "resolve_windowing",
     "search",
     "search_one",
     "search_topk",
@@ -32,4 +36,5 @@ __all__ = [
     "kmer_codes",
     "Hit",
     "TopKReducer",
+    "merge_topk",
 ]

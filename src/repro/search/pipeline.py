@@ -27,7 +27,8 @@ and as the benchmark baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -40,15 +41,18 @@ from repro.engine.executor import PlanExecutorStage
 from repro.engine.stages import Batch, PipelineStats
 from repro.search.seeds import QueryIndex, SeedPrefilter
 from repro.search.topk import Hit, TopKReducer
-from repro.util.checks import ValidationError, check_positive
+from repro.util.checks import ValidationError, check_no_callables, check_positive
 from repro.util.encoding import encode
 from repro.workloads.chunks import Chunk, chunk_records, chunk_sequence
 
 __all__ = [
     "BandedVerifyStage",
+    "SearchConfig",
     "SearchRun",
+    "classify_database",
     "default_search_scheme",
     "exhaustive_topk",
+    "resolve_windowing",
     "search",
     "search_topk",
 ]
@@ -62,6 +66,84 @@ def default_search_scheme() -> AlignmentScheme:
     default global scheme.
     """
     return semiglobal_scheme(linear_gap_scoring(simple_subst_scoring(2, -1), -1))
+
+
+def resolve_windowing(
+    qmax: int,
+    window: int | None = None,
+    overlap: int | None = None,
+    band_pad: int = 16,
+) -> tuple[int, int]:
+    """Resolve the reference windowing for a longest-query extent.
+
+    The single place the default windowing lives: ``search()``, the
+    exhaustive oracle, and the shard planner all call it, so a sharded run
+    produces exactly the chunk ids (and therefore the hit set) of the
+    single-process scan.  Defaults: ``2·qmax`` windows overlapping by
+    ``qmax + band_pad`` so no placement is lost at a boundary.
+    """
+    if window is None:
+        window = 2 * qmax
+    check_positive(window, "window")
+    if window < qmax:
+        raise ValidationError(
+            f"window {window} is smaller than the longest query ({qmax})"
+        )
+    if overlap is None:
+        overlap = min(window - 1, qmax + band_pad)
+    return window, overlap
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Picklable-by-construction parameterisation of one :func:`search`.
+
+    Every field is a plain value or a frozen scheme dataclass — never a
+    callable, a bound kernel, or an engine — so a config can cross a
+    process boundary intact; :meth:`__post_init__` enforces it at
+    construction, not at pickling time.  ``ShardPlan`` embeds one to
+    rebuild identical search pipelines inside worker processes, and
+    :meth:`search_kwargs` expands it for :func:`search`.
+    """
+
+    k: int = 10
+    kmer: int = 11
+    min_seeds: int = 2
+    window: int | None = None
+    overlap: int | None = None
+    band: int | None = None
+    band_pad: int = 16
+    min_score: int | None = None
+    verify: str = "banded"
+    scheme: AlignmentScheme | None = None
+    max_in_flight: int = 2048
+
+    def __post_init__(self):
+        check_no_callables(self)
+        if self.scheme is not None and not isinstance(self.scheme, AlignmentScheme):
+            raise ValidationError(
+                f"SearchConfig.scheme must be an AlignmentScheme, got {self.scheme!r}"
+            )
+        if self.verify not in ("banded", "full"):
+            raise ValidationError(
+                f"verify must be 'banded' or 'full', got {self.verify!r}"
+            )
+
+    def resolved_scheme(self) -> AlignmentScheme:
+        return self.scheme if self.scheme is not None else default_search_scheme()
+
+    def resolved_for(self, qmax: int) -> "SearchConfig":
+        """Pin windowing and scheme for a concrete query set (idempotent)."""
+        window, overlap = resolve_windowing(
+            qmax, self.window, self.overlap, self.band_pad
+        )
+        return replace(
+            self, window=window, overlap=overlap, scheme=self.resolved_scheme()
+        )
+
+    def search_kwargs(self) -> dict:
+        """The config as :func:`search` keyword arguments."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
 
 
 class BandedVerifyStage:
@@ -172,20 +254,46 @@ class SearchRun:
         return pipeline_stats_table(self.stats, title="Search pipeline")
 
 
-def _chunk_source(database, window: int, overlap: int):
-    """Normalize a database argument into a Chunk iterator."""
-    if hasattr(database, "__next__"):  # already an iterator (of Chunks)
-        return database
+def classify_database(database, *, materialize: bool = False):
+    """Tag a database argument: the one place its accepted shapes live.
+
+    Returns ``(kind, value)`` where ``kind`` is ``"chunks"`` (pre-windowed
+    — an iterator or list of :class:`~repro.workloads.chunks.Chunk`),
+    ``"records"`` (a list of objects with ``name``/``sequence``), or
+    ``"sequence"`` (a raw encoded array / string).  Every consumer of a
+    ``database`` argument — :func:`search`, the shard payload builder, the
+    serving shard router — classifies through here, so they cannot drift
+    on what "anything search accepts" means.
+
+    By contract an *iterator* database yields chunks; with
+    ``materialize=False`` (the streaming default) it is passed through
+    lazily, while ``materialize=True`` lists it out for consumers that
+    must partition or replay it.
+    """
+    if hasattr(database, "__next__"):
+        if not materialize:
+            return "chunks", database  # lazy pre-windowed stream
+        database = list(database)
     if isinstance(database, Chunk):
-        return iter([database])
+        return "chunks", [database]
     if isinstance(database, (list, tuple)) and database:
         if isinstance(database[0], Chunk):  # pre-windowed chunk list
-            return iter(database)
+            return "chunks", database
         if hasattr(database[0], "sequence"):  # FastaRecord list
-            return chunk_records(database, window, overlap)
+            return "records", database
     if hasattr(database, "sequence"):  # single FastaRecord
-        return chunk_records([database], window, overlap)
-    return chunk_sequence(database, window, overlap)
+        return "records", [database]
+    return "sequence", database
+
+
+def _chunk_source(database, window: int, overlap: int):
+    """Normalize a database argument into a Chunk iterator."""
+    kind, value = classify_database(database)
+    if kind == "chunks":
+        return iter(value) if not hasattr(value, "__next__") else value
+    if kind == "records":
+        return chunk_records(value, window, overlap)
+    return chunk_sequence(value, window, overlap)
 
 
 def search(
@@ -246,15 +354,7 @@ def search(
     check_positive(k, "k")
     index = QueryIndex(queries, k=kmer)
     qmax = int(index.lengths.max())
-    if window is None:
-        window = 2 * qmax
-    check_positive(window, "window")
-    if window < qmax:
-        raise ValidationError(
-            f"window {window} is smaller than the longest query ({qmax})"
-        )
-    if overlap is None:
-        overlap = min(window - 1, qmax + band_pad)
+    window, overlap = resolve_windowing(qmax, window, overlap, band_pad)
     owned_engine = None
     if engine is None:
         engine = owned_engine = ExecutionEngine(scheme, backend="rowscan")
@@ -311,17 +411,14 @@ def exhaustive_topk(
 
     No prefilter, no band — each window is scored against each query with
     the exact kernels via the engine's batch path (in bounded slabs), and
-    hits are retained by the identical ``(score, start, chunk)`` rule as
-    the streaming pipeline.  Quadratic in database size: the correctness
+    hits are retained by the identical ``(score, record, start, chunk)``
+    total order as the streaming pipeline and the sharded merge.  Quadratic in database size: the correctness
     referee and benchmark baseline, not a serving path.
     """
     scheme = scheme if scheme is not None else default_search_scheme()
     enc_q = [encode(q) for q in queries]
     qmax = max(q.size for q in enc_q)
-    if window is None:
-        window = 2 * qmax
-    if overlap is None:
-        overlap = min(window - 1, qmax + band_pad)
+    window, overlap = resolve_windowing(qmax, window, overlap, band_pad)
     owned_engine = None
     if engine is None:
         engine = owned_engine = ExecutionEngine(scheme, backend="rowscan")

@@ -1,10 +1,22 @@
-"""Bounded top-K reduction: per-query result heaps for database search.
+"""Bounded top-K reduction: mergeable per-query result heaps for search.
 
 The reducer keeps at most ``k`` hits per query in a min-heap, so memory is
-O(queries · k) regardless of database size.  Retention is deterministic:
-hits are ranked by ``(score desc, start asc, chunk_id asc)`` — the same
-total order the exhaustive oracle uses — so a pipeline run and a full-DP
-sweep retain *identical* hit sets whenever their scores agree.
+O(queries · k) regardless of database size.  Retention follows one *total*
+order — ``(score desc, record asc, start asc, chunk_id asc)`` — shared by
+the streaming pipeline, the exhaustive oracle, and the sharded merge path,
+so any two runs over the same candidate set retain identical hit sets
+regardless of arrival order.  (Ranking the record before the window start
+matters across references: scan order, not window offset, breaks score
+ties, so a shard that happens to deliver record "chr2" first cannot
+displace an equal-scoring earlier hit in "chr1".)
+
+Top-K heaps are **mergeable**: :meth:`TopKReducer.offer_hit` re-offers an
+already-built :class:`Hit` (no source chunk needed, so hits can cross a
+process boundary) and :meth:`TopKReducer.absorb` folds another reducer's
+``results()`` in.  Because retention is monotone in the total order, the
+merge of per-shard top-K heaps over a partitioned database is bit-identical
+to the single-process top-K over the whole database —
+:func:`merge_topk` is the convenience wrapper the shard subsystem uses.
 
 Emissions stream: every hit that enters a query's current top-K is yielded
 from :meth:`TopKReducer.consume` the moment its batch is scored, which is
@@ -21,12 +33,16 @@ import numpy as np
 from repro.engine.stages import Batch
 from repro.util.checks import check_positive
 
-__all__ = ["Hit", "TopKReducer"]
+__all__ = ["Hit", "TopKReducer", "merge_topk"]
 
 
 @dataclass(slots=True)
 class Hit:
-    """One scored placement of a query inside a reference window."""
+    """One scored placement of a query inside a reference window.
+
+    Plain scalars only — hits pickle cheaply, which is what lets shard
+    workers stream their bounded top-K back over a result queue.
+    """
 
     query_id: int
     record: str  # reference record name
@@ -43,9 +59,48 @@ class Hit:
         )
 
 
-def _rank(score: int, start: int, chunk_id: int) -> tuple:
-    """Heap rank: larger is better-retained; ties prefer earlier windows."""
-    return (score, -start, -chunk_id)
+class _RevStr:
+    """A string that compares in reverse, so ``record`` can sit inside a
+    larger-is-better-retained rank tuple (strings cannot be negated)."""
+
+    __slots__ = ("s",)
+
+    def __init__(self, s: str):
+        self.s = s
+
+    def __lt__(self, other):
+        return self.s > other.s
+
+    def __le__(self, other):
+        return self.s >= other.s
+
+    def __gt__(self, other):
+        return self.s < other.s
+
+    def __ge__(self, other):
+        return self.s <= other.s
+
+    def __eq__(self, other):
+        return self.s == other.s
+
+    def __repr__(self):
+        return f"_RevStr({self.s!r})"
+
+
+def _rank(score: int, record: str, start: int, chunk_id: int) -> tuple:
+    """Heap rank: larger is better-retained.
+
+    Score decides; ties prefer the earlier record (scan order), then the
+    earlier window within it, then the earlier chunk.  ``chunk_id`` makes
+    the order total — one chunk is one (record, start), so no two
+    candidates of a query ever share a rank.
+    """
+    return (score, _RevStr(record), -start, -chunk_id)
+
+
+def hit_rank(hit: Hit) -> tuple:
+    """The retention rank of an existing :class:`Hit` (merge path)."""
+    return _rank(hit.score, hit.record, hit.start, hit.chunk_id)
 
 
 class TopKReducer:
@@ -57,12 +112,17 @@ class TopKReducer:
         self._heaps: list[list] = [[] for _ in range(num_queries)]
 
     def offer(self, query_id: int, chunk, score: int, seeds: int = 0) -> Hit | None:
-        """Consider one scored candidate; returns the Hit if it was retained."""
+        """Consider one scored candidate; returns the Hit if it was retained.
+
+        The streaming hot path: almost every candidate of a large scan is
+        rejected here, so the Hit is only constructed once retention is
+        already decided.
+        """
         score = int(score)
         if self.min_score is not None and score < self.min_score:
             return None
         heap = self._heaps[query_id]
-        rank = _rank(score, chunk.start, chunk.id)
+        rank = _rank(score, chunk.record, chunk.start, chunk.id)
         if len(heap) >= self.k and rank <= heap[0][0]:
             return None
         hit = Hit(
@@ -74,11 +134,40 @@ class TopKReducer:
             chunk_id=chunk.id,
             seeds=seeds,
         )
+        return self._push(heap, rank, hit)
+
+    def offer_hit(self, hit: Hit) -> Hit | None:
+        """Consider an already-built hit (the shard merge entry point)."""
+        if self.min_score is not None and hit.score < self.min_score:
+            return None
+        heap = self._heaps[hit.query_id]
+        rank = hit_rank(hit)
+        if len(heap) >= self.k and rank <= heap[0][0]:
+            return None
+        return self._push(heap, rank, hit)
+
+    def _push(self, heap: list, rank: tuple, hit: Hit) -> Hit:
         if len(heap) < self.k:
             heapq.heappush(heap, (rank, hit))
         else:
             heapq.heapreplace(heap, (rank, hit))
         return hit
+
+    def absorb(self, per_query: list) -> int:
+        """Fold another reducer's ``results()`` in; returns hits retained.
+
+        ``per_query`` indexes hit lists by query id (a shard that saw no
+        candidate for a query contributes an empty list).  Merging is
+        exact: each worker's bounded heap retains every hit that could
+        enter the merged top-K, so absorbing all shards reproduces the
+        single-process result bit for bit.
+        """
+        kept = 0
+        for hits in per_query:
+            for hit in hits:
+                if self.offer_hit(hit) is not None:
+                    kept += 1
+        return kept
 
     # -- Reducer protocol --------------------------------------------------
     def consume(self, batch: Batch, scores: np.ndarray):
@@ -95,8 +184,22 @@ class TopKReducer:
 
     # -- results -----------------------------------------------------------
     def results(self) -> list[list[Hit]]:
-        """Final per-query hits, best first (score desc, start asc)."""
+        """Final per-query hits, best first (score desc, record/start asc)."""
         return [
             [hit for _, hit in sorted(heap, key=lambda e: e[0], reverse=True)]
             for heap in self._heaps
         ]
+
+
+def merge_topk(
+    shard_results: list, num_queries: int, k: int = 10, min_score: int | None = None
+) -> list[list[Hit]]:
+    """Merge per-shard ``results()`` lists into one global per-query top-K.
+
+    The reduction the shard subsystem runs after gathering worker heaps;
+    deterministic regardless of the order shards report in.
+    """
+    reducer = TopKReducer(num_queries, k=k, min_score=min_score)
+    for per_query in shard_results:
+        reducer.absorb(per_query)
+    return reducer.results()

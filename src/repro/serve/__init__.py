@@ -18,6 +18,7 @@ from repro.serve.service import (
     AlignmentService,
     DeadlineExceededError,
     ServiceClosedError,
+    ServiceConfig,
     ServiceError,
     ServiceOverloadedError,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "PendingRequest",
     "Priority",
     "ServiceClosedError",
+    "ServiceConfig",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceStats",

@@ -33,8 +33,10 @@ Semantics worth knowing:
 from __future__ import annotations
 
 import asyncio
+import math
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
+from dataclasses import dataclass
 
 from repro.engine.engine import ExecutionEngine
 from repro.engine.stages import Batch, Request
@@ -45,11 +47,52 @@ from repro.util.encoding import encode
 
 __all__ = [
     "AlignmentService",
+    "ServiceConfig",
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "DeadlineExceededError",
 ]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-hardening knobs (picklable by construction, like all configs).
+
+    ``route_backends`` turns on per-bucket backend routing in the dispatch
+    path: a micro-batch that filled its lanes executes on
+    ``full_lane_backend`` (the inter-sequence SIMD regime the paper's
+    throughput comes from), while straggler buckets — linger-expired or
+    drain-flushed partials too small to fill lanes — stay on
+    ``straggler_backend``, whose per-pair row sweep has no lane setup to
+    amortize.  "Full" means ≥ ``full_lane_fraction`` of the service's
+    target batch.  Scores are identical either way (every backend is
+    parity-tested against the same reference DP); only the cost model
+    changes.
+    """
+
+    route_backends: bool = False
+    full_lane_backend: str = "simd"
+    straggler_backend: str = "rowscan"
+    full_lane_fraction: float = 0.5
+
+    def __post_init__(self):
+        from repro.util.checks import ValidationError, check_no_callables
+
+        check_no_callables(self)
+        if not 0.0 < self.full_lane_fraction <= 1.0:
+            raise ValidationError(
+                f"full_lane_fraction must be in (0, 1], got {self.full_lane_fraction}"
+            )
+
+    def backend_for(self, batch_size: int, target_batch: int) -> str | None:
+        """Backend override for a score bucket (None = engine default)."""
+        if not self.route_backends:
+            return None
+        threshold = max(2, math.ceil(target_batch * self.full_lane_fraction))
+        if batch_size >= threshold:
+            return self.full_lane_backend
+        return self.straggler_backend
 
 
 class ServiceError(ReproError):
@@ -102,6 +145,10 @@ class AlignmentService:
         Reference database (anything :func:`repro.search.search` accepts;
         iterators are materialized once) and default keyword arguments for
         ``submit_search``.
+    config:
+        :class:`ServiceConfig` hardening knobs — per-bucket backend
+        routing (``simd`` full lanes / ``rowscan`` stragglers) is off by
+        default.
     """
 
     def __init__(
@@ -117,6 +164,7 @@ class AlignmentService:
         dispatch_workers: int = 4,
         database=None,
         search_kwargs: dict | None = None,
+        config: ServiceConfig | None = None,
     ):
         self._owned_engine = None
         if engine is None:
@@ -134,6 +182,7 @@ class AlignmentService:
         self.bulk_fraction = bulk_fraction
         self.dispatch_workers = check_positive(dispatch_workers, "dispatch_workers")
         self.batcher = MicroBatcher(target_batch=target_batch, max_linger=max_linger)
+        self.config = config if config is not None else ServiceConfig()
         self.stats = ServiceStats()
         if database is not None and hasattr(database, "__next__"):
             database = list(database)  # an iterator would be consumed once
@@ -373,7 +422,10 @@ class AlignmentService:
                     for i, r in enumerate(executable)
                 ],
             )
-            results = self.engine.submit_prebatched(batch)
+            backend = self.config.backend_for(
+                len(executable), self.batcher.target_batch
+            )
+            results = self.engine.submit_prebatched(batch, backend=backend)
         else:  # align
             results = self.engine.align_batch(
                 [r.query for r in executable], [r.subject for r in executable]

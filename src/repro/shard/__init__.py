@@ -1,0 +1,47 @@
+"""repro.shard — multi-process sharded search and a serving shard router.
+
+One Python process caps throughput at one GIL; this subsystem splits the
+work across processes along the natural partition — the reference chunk
+stream.  Chunk ownership is a pure function of the global chunk ordinal
+(:func:`repro.workloads.chunks.shard_of`), every per-shard top-K heap is
+bounded and mergeable under one deterministic total order
+(:mod:`repro.search.topk`), so both regimes return results bit-identical
+to their single-process counterparts:
+
+* **offline** — :class:`ShardedSearch` spawns N worker processes from a
+  picklable :class:`ShardPlan` (each rebuilds an engine + search pipeline,
+  streams its bounded top-K back over a result queue) and merges;
+* **online** — :class:`ShardRouter` fronts N
+  :class:`~repro.serve.AlignmentService` instances, routing score/align
+  requests to the least-loaded shard and fanning searches out to all of
+  them, behind the same ``submit_*`` surface
+  :class:`~repro.serve.SyncAlignmentClient` already speaks.
+"""
+
+from repro.shard.plan import ChunkPayload, RecordPayload, ShardPlan, build_payloads
+from repro.shard.router import RouterStats, ShardRouter
+from repro.shard.search import (
+    ShardedSearch,
+    ShardError,
+    ShardWorkerError,
+    sharded_search_topk,
+)
+from repro.shard.stats import ShardRunStats, ShardWorkerStats
+from repro.shard.worker import run_shard, shard_engine_workers
+
+__all__ = [
+    "ChunkPayload",
+    "RecordPayload",
+    "RouterStats",
+    "ShardError",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardRunStats",
+    "ShardWorkerStats",
+    "ShardedSearch",
+    "ShardWorkerError",
+    "build_payloads",
+    "run_shard",
+    "shard_engine_workers",
+    "sharded_search_topk",
+]

@@ -1,0 +1,123 @@
+"""Shard planning: the picklable unit of work a worker process receives.
+
+A :class:`ShardPlan` is a value object — a shard count, a
+:class:`~repro.search.pipeline.SearchConfig`, and an
+:class:`~repro.engine.engine.EngineConfig` — with **no** engines, kernels,
+pools, or callables anywhere inside, so ``pickle.dumps`` round-trips it by
+construction (each embedded config enforces that invariant in its own
+``__post_init__``).  The worker entrypoint rebuilds an
+``ExecutionEngine`` + search pipeline from the plan on the far side of a
+``multiprocessing.get_context("spawn")`` boundary.
+
+Chunk ownership is :func:`repro.workloads.chunks.shard_of` — a pure
+function of the global chunk ordinal — so the parent never sends chunk
+assignments: every worker windows the same reference with the plan's
+resolved ``window``/``overlap`` and keeps the ordinals it owns, which is
+what makes the merged result bit-identical to a single-process scan.
+
+:class:`RecordPayload` / :class:`ChunkPayload` are the two shapes a
+database crosses the boundary in: whole encoded records (workers re-window
+and filter — the normal case, one reference copy per worker) or an
+explicit pre-partitioned chunk list (databases supplied as chunk iterators
+cannot be regenerated remotely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.engine import EngineConfig
+from repro.search.pipeline import SearchConfig, classify_database
+from repro.util.checks import ValidationError, check_positive
+from repro.util.encoding import encode
+from repro.workloads.chunks import chunk_records, partition_chunks, shard_chunks, shard_of
+from repro.workloads.fasta import FastaRecord
+
+__all__ = ["ShardPlan", "RecordPayload", "ChunkPayload", "build_payloads"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How to split one search across worker processes (picklable)."""
+
+    num_shards: int = 4
+    search: SearchConfig = field(default_factory=SearchConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    start_method: str = "spawn"
+
+    def __post_init__(self):
+        check_positive(self.num_shards, "num_shards")
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise ValidationError(
+                f"start_method must be spawn/fork/forkserver, got {self.start_method!r}"
+            )
+        if not isinstance(self.search, SearchConfig):
+            raise ValidationError("ShardPlan.search must be a SearchConfig")
+        if not isinstance(self.engine, EngineConfig):
+            raise ValidationError("ShardPlan.engine must be an EngineConfig")
+
+    def shard_of(self, chunk_id: int) -> int:
+        return shard_of(chunk_id, self.num_shards)
+
+    def resolved_for(self, qmax: int) -> "ShardPlan":
+        """Pin the search windowing to a concrete query set.
+
+        Workers must all window the reference identically — and identically
+        to the single-process run — so the parent resolves the windowing
+        once, before any process starts.
+        """
+        return replace(self, search=self.search.resolved_for(qmax))
+
+
+@dataclass(frozen=True)
+class RecordPayload:
+    """Database as encoded records: each worker re-windows and filters.
+
+    ``records`` are ``(name, uint8 codes)`` pairs — pre-encoded by the
+    parent so every worker skips the text decode and, more importantly, so
+    the windowing (and therefore the chunk ordinals) cannot drift between
+    processes.
+    """
+
+    records: tuple  # ((name, np.ndarray), ...)
+
+    def chunk_iter(self, plan: ShardPlan, shard_id: int):
+        if plan.search.window is None or plan.search.overlap is None:
+            raise ValidationError(
+                "plan windowing is unresolved; call plan.resolved_for(qmax) first"
+            )
+        recs = (FastaRecord(name=name, sequence=seq) for name, seq in self.records)
+        chunks = chunk_records(recs, plan.search.window, plan.search.overlap)
+        return shard_chunks(chunks, plan.num_shards, shard_id)
+
+
+@dataclass(frozen=True)
+class ChunkPayload:
+    """Database as this shard's explicit chunk list (pre-windowed input)."""
+
+    chunks: tuple  # (Chunk, ...) owned by this shard, scan order
+
+    def chunk_iter(self, plan: ShardPlan, shard_id: int):
+        return iter(self.chunks)
+
+
+def build_payloads(database, plan: ShardPlan) -> list:
+    """Normalize a database argument into one payload per shard.
+
+    Accepts everything :func:`repro.search.search` accepts: an encoded
+    array or string sequence, FastaRecord(s), or an iterator/list of
+    pre-windowed :class:`~repro.workloads.chunks.Chunk` objects.  Raw
+    sequences/records ship whole (every worker filters its own ordinals);
+    pre-windowed chunks are partitioned here because the parent cannot
+    replay an arbitrary iterator remotely.
+    """
+    kind, value = classify_database(database, materialize=True)
+    if kind == "chunks":
+        parts = partition_chunks(iter(value), plan.num_shards)
+        return [ChunkPayload(chunks=tuple(part)) for part in parts]
+    if kind == "records":
+        records = tuple((rec.name, encode(rec.sequence)) for rec in value)
+    else:
+        records = (("ref", encode(value)),)
+    payload = RecordPayload(records=records)
+    return [payload] * plan.num_shards

@@ -1,0 +1,283 @@
+"""Online shard router: one ``submit_*`` front over N alignment services.
+
+The serving counterpart of :class:`~repro.shard.search.ShardedSearch`: a
+:class:`ShardRouter` fronts several
+:class:`~repro.serve.service.AlignmentService` instances — one per shard,
+each owning a disjoint slice of the reference windows (same
+:func:`~repro.workloads.chunks.shard_of` assignment as the offline path)
+and its own engine + dispatch pool.
+
+Routing policy per request kind:
+
+* ``submit`` / ``submit_align`` (single-pair work — any shard can serve
+  it): **least-loaded** — the service with the smallest live queue depth
+  wins, round-robin breaking ties so idle services share warm-up traffic;
+* ``submit_search`` (the database is partitioned — every shard holds part
+  of the answer): **fan-out** — the query goes to all shards
+  concurrently, partial hit lists gather, and the same deterministic
+  top-K reducer that merges offline shards merges them here, so a routed
+  search equals a single-service search over the whole database bit for
+  bit.
+
+The router exposes the service surface (``start``/``drain``/``close``,
+``submit*``, ``capacity_for``, ``queue_depth``, ``stats``, ``report``), so
+:class:`~repro.serve.client.SyncAlignmentClient` drives it unchanged:
+``SyncAlignmentClient(service=ShardRouter(...))``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.search.pipeline import _chunk_source, classify_database, resolve_windowing
+from repro.search.topk import TopKReducer
+from repro.serve.batcher import Priority
+from repro.serve.service import AlignmentService
+from repro.util.checks import ValidationError, check_positive
+from repro.workloads.chunks import partition_chunks
+
+__all__ = ["ShardRouter", "RouterStats"]
+
+
+class RouterStats:
+    """Aggregated view over the per-shard :class:`ServiceStats` objects.
+
+    Snapshot-only (the children keep the live counters): counts sum,
+    high-water marks take the max, and latency percentiles are computed
+    over the *pooled* reservoir samples rather than averaging per-shard
+    percentiles (which would understate the tail).
+    """
+
+    def __init__(self, services: list):
+        self._services = services
+
+    def snapshot(self) -> dict:
+        from repro.serve.stats import LatencyReservoir
+
+        snaps = [svc.stats.snapshot() for svc in self._services]
+        pooled: list[float] = []
+        for svc in self._services:
+            pooled.extend(svc.stats.latency_sample())
+        # One shared percentile definition: pour the pooled sample into a
+        # reservoir rather than re-deriving the rank formula here.
+        reservoir = LatencyReservoir(maxlen=max(1, len(pooled)))
+        for value in pooled:
+            reservoir.add(value)
+
+        def pct(p):
+            return reservoir.percentile(p) * 1e3
+
+        def merged_dict(key):
+            out: dict = {}
+            for s in snaps:
+                for cause, count in s[key].items():
+                    out[cause] = out.get(cause, 0) + count
+            return out
+
+        batches = sum(s["batches"] for s in snaps)
+        batched = sum(s["batched_requests"] for s in snaps)
+        return {
+            "shards": len(snaps),
+            "submitted": sum(s["submitted"] for s in snaps),
+            "completed": sum(s["completed"] for s in snaps),
+            "failed": sum(s["failed"] for s in snaps),
+            "rejected": merged_dict("rejected"),
+            "batches": batches,
+            "batched_requests": batched,
+            "flush_causes": merged_dict("flush_causes"),
+            "mean_occupancy": batched / batches if batches else 0.0,
+            "queue_depth_hwm": max((s["queue_depth_hwm"] for s in snaps), default=0),
+            "latency_p50_ms": pct(50),
+            "latency_p99_ms": pct(99),
+            "per_shard": snaps,
+        }
+
+
+class ShardRouter:
+    """Route online alignment traffic across per-shard services.
+
+    Parameters
+    ----------
+    num_shards:
+        Shard/service count (ignored when ``services`` is given).
+    services:
+        Pre-built (unstarted) services to front, one per shard — each
+        should already hold its slice of the database.  Built from the
+        remaining parameters otherwise.
+    database:
+        The full reference (anything :func:`repro.search.search` accepts).
+        Windowed once here and partitioned by chunk ordinal across the
+        shard services.
+    window / overlap / max_query:
+        Windowing for the partition (ignored for pre-windowed chunk
+        databases).  Online routing cannot see future query lengths, so
+        pass ``window`` *and* ``overlap`` explicitly, or give
+        ``max_query`` — the longest query you will submit — and any
+        missing value is derived from the offline defaults.  An overlap
+        below the longest query would lose boundary-spanning placements,
+        so the router refuses to guess.
+    search_kwargs:
+        Default keyword arguments for ``submit_search`` on every shard.
+    service_kwargs:
+        Everything else (engine, scheme, backend, target_batch, config,
+        ...) forwarded to each :class:`AlignmentService`.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        *,
+        services: list | None = None,
+        database=None,
+        window: int | None = None,
+        overlap: int | None = None,
+        max_query: int | None = None,
+        search_kwargs: dict | None = None,
+        **service_kwargs,
+    ):
+        self._search_kwargs = dict(search_kwargs or {})
+        if services is not None:
+            if not services:
+                raise ValidationError("services must be non-empty")
+            self.services = list(services)
+        else:
+            check_positive(num_shards, "num_shards")
+            shard_dbs: list = [None] * num_shards
+            if database is not None:
+                kind, value = classify_database(database, materialize=True)
+                if kind == "chunks":
+                    chunks = list(value)
+                else:
+                    if window is None or overlap is None:
+                        # Never guess the query extent: an overlap smaller
+                        # than the longest query loses boundary-spanning
+                        # placements, silently breaking the fan-out merge's
+                        # parity guarantee.
+                        if max_query is None:
+                            raise ValidationError(
+                                "partitioning a database needs explicit window= "
+                                "and overlap=, or max_query= (the longest query "
+                                "you will submit) to derive the offline defaults"
+                            )
+                        window, overlap = resolve_windowing(max_query, window, overlap)
+                    chunks = list(_chunk_source(value, window, overlap))
+                shard_dbs = partition_chunks(iter(chunks), num_shards)
+            self.services = [
+                AlignmentService(
+                    database=shard_dbs[i],
+                    search_kwargs=dict(self._search_kwargs),
+                    **service_kwargs,
+                )
+                for i in range(num_shards)
+            ]
+        self.stats = RouterStats(self.services)
+        self._rr = 0  # round-robin cursor for load ties
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.services)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self):
+        """Start every shard service on the running loop (idempotent)."""
+        for svc in self.services:
+            svc.start()
+        return self
+
+    async def drain(self):
+        await asyncio.gather(*(svc.drain() for svc in self.services))
+
+    async def close(self):
+        self._closed = True
+        await asyncio.gather(*(svc.close() for svc in self.services))
+
+    async def __aenter__(self):
+        return self.start()
+
+    async def __aexit__(self, *exc):
+        await self.close()
+        return False
+
+    # -- service surface ------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return sum(svc.queue_depth for svc in self.services)
+
+    def capacity_for(self, priority) -> int:
+        return sum(svc.capacity_for(priority) for svc in self.services)
+
+    def _pick(self) -> AlignmentService:
+        """Least-loaded service; round-robin breaks depth ties."""
+        count = len(self.services)
+        self._rr = (self._rr + 1) % count
+        best, best_key = None, None
+        for offset in range(count):
+            svc = self.services[(self._rr + offset) % count]
+            key = svc.queue_depth
+            if best_key is None or key < best_key:
+                best, best_key = svc, key
+        return best
+
+    async def submit(
+        self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
+    ) -> int:
+        """Score one pair on the least-loaded shard service."""
+        return await self._pick().submit(
+            query, subject, priority=priority, timeout=timeout
+        )
+
+    async def submit_align(
+        self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
+    ):
+        """Full alignment on the least-loaded shard service."""
+        return await self._pick().submit_align(
+            query, subject, priority=priority, timeout=timeout
+        )
+
+    async def submit_search(
+        self,
+        query,
+        *,
+        priority=Priority.NORMAL,
+        timeout: float | None = None,
+        **overrides,
+    ):
+        """Fan a search out to every shard; merge the partial top-Ks.
+
+        Per-shard hit lists are bounded by the same ``k``, so the merge is
+        exact: identical to a single service holding the whole database.
+        """
+        partials = await asyncio.gather(
+            *(
+                svc.submit_search(
+                    query, priority=priority, timeout=timeout, **overrides
+                )
+                for svc in self.services
+            )
+        )
+        merged = dict(self._search_kwargs)
+        merged.update(overrides)
+        reducer = TopKReducer(
+            1, k=merged.get("k", 10), min_score=merged.get("min_score")
+        )
+        for hits in partials:
+            reducer.absorb([hits])
+        return reducer.results()[0]
+
+    # -- introspection --------------------------------------------------------
+    def report(self) -> str:
+        """Aggregate + per-shard serving tables (perf.report format)."""
+        from repro.perf.report import router_stats_table
+
+        return router_stats_table(self)
+
+    def __repr__(self):
+        return (
+            f"ShardRouter(shards={self.num_shards}, depth={self.queue_depth}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,236 @@
+"""Offline sharded search: N worker processes, one merged global top-K.
+
+NumPy-in-threads only buys so much under one GIL; :class:`ShardedSearch`
+runs the streaming search pipeline in ``plan.num_shards`` *processes*.
+Each worker owns the reference windows whose global ordinal hashes to it
+(:func:`repro.workloads.chunks.shard_of`), rebuilds an engine + pipeline
+from the picklable :class:`~repro.shard.plan.ShardPlan`, and streams its
+bounded per-query top-K back over a result queue.  The parent gathers the
+heaps and merges them with the same deterministic total order the workers
+used (:func:`repro.search.topk.merge_topk`), so the merged result is
+bit-identical to a single-process ``search_topk()`` over the whole
+database — the property the tier-1 tests pin.
+
+Failure handling: a worker that raises reports a formatted traceback
+(re-raised here as :class:`ShardWorkerError`); one that dies without
+reporting — hard crash, OOM kill — is caught by exit-code polling while
+the parent waits on the queue, so a lost worker is a clean error, never a
+hang.  An optional ``timeout`` bounds the whole gather.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+
+from repro.search.pipeline import SearchConfig
+from repro.search.topk import Hit, TopKReducer
+from repro.shard.plan import ShardPlan, build_payloads
+from repro.shard.stats import ShardRunStats
+from repro.shard.worker import run_shard
+from repro.util.checks import ReproError
+from repro.util.encoding import encode
+
+__all__ = ["ShardedSearch", "ShardError", "ShardWorkerError", "sharded_search_topk"]
+
+#: How often the gather loop wakes to check worker liveness (seconds).
+_POLL_S = 0.2
+
+#: How long a dead-but-unreported worker's message may trail its exit.
+#: A worker that put its result just before exiting can still have the
+#: queue feeder's bytes in flight; past this window a silent death — even
+#: one with exit code 0 (``os._exit(0)``, a feeder that failed to pickle)
+#: — is an error, upholding the never-a-hang guarantee.
+_DEAD_GRACE_S = 5.0
+
+
+class ShardError(ReproError):
+    """Base class for sharded-search failures."""
+
+
+class ShardWorkerError(ShardError):
+    """A worker process failed (reported an exception or died silently)."""
+
+
+class ShardedSearch:
+    """Drive one query set against a database across worker processes.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker process count, default 4 (``1`` degenerates to a single
+        worker whose result is the whole answer — same code path, still a
+        subprocess).  When ``plan`` is given the count lives there; an
+        explicit conflicting ``num_shards`` is an error, not a silent tie.
+    plan:
+        A full :class:`~repro.shard.plan.ShardPlan`; built from
+        ``num_shards`` + ``engine`` + ``search_kwargs`` otherwise.
+    timeout:
+        Overall bound in seconds on waiting for workers (None = no bound;
+        crashes are detected either way).
+    search_kwargs:
+        Anything :func:`repro.search.search` accepts except ``engine``
+        (workers build their own from ``plan.engine``).
+
+    ``stats`` holds the :class:`~repro.shard.stats.ShardRunStats` of the
+    most recent :meth:`search_topk` call.
+    """
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        *,
+        plan: ShardPlan | None = None,
+        engine=None,
+        timeout: float | None = None,
+        **search_kwargs,
+    ):
+        if engine is not None:
+            raise ReproError(
+                "ShardedSearch workers build their own engines; pass an "
+                "EngineConfig via plan=ShardPlan(engine=...) instead"
+            )
+        if plan is None:
+            plan = ShardPlan(
+                num_shards=num_shards if num_shards is not None else 4,
+                search=SearchConfig(**search_kwargs),
+            )
+        else:
+            if search_kwargs:
+                raise ReproError("pass search parameters via plan= or kwargs, not both")
+            if num_shards is not None and num_shards != plan.num_shards:
+                raise ReproError(
+                    f"num_shards={num_shards} conflicts with "
+                    f"plan.num_shards={plan.num_shards}; drop one"
+                )
+        self.plan = plan
+        self.timeout = timeout
+        self.stats: ShardRunStats | None = None
+
+    # -- internals, overridable for tests -----------------------------------
+    def _payloads(self, database, plan: ShardPlan) -> list:
+        return build_payloads(database, plan)
+
+    def _gather(self, procs, result_q, deadline) -> list:
+        """Collect one message per shard; surface crashes instead of hanging."""
+        messages: dict[int, tuple] = {}
+        reported: set[int] = set()
+        died_at: dict[int, float] = {}  # shard id → first seen dead
+        while len(messages) < len(procs):
+            try:
+                msg = result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                now = time.monotonic()
+                for shard_id, proc in enumerate(procs):
+                    if shard_id in reported or proc.is_alive():
+                        continue
+                    if proc.exitcode not in (0, None):
+                        self._terminate(procs)
+                        raise ShardWorkerError(
+                            f"shard {shard_id} worker died with exit code "
+                            f"{proc.exitcode} before reporting a result"
+                        )
+                    # Exit code 0 without a result: give the queue feeder a
+                    # grace window to deliver a trailing message, then treat
+                    # the silence itself as the failure.
+                    if now - died_at.setdefault(shard_id, now) > _DEAD_GRACE_S:
+                        self._terminate(procs)
+                        raise ShardWorkerError(
+                            f"shard {shard_id} worker exited cleanly (code 0) "
+                            "but never reported a result"
+                        )
+                if deadline is not None and time.monotonic() > deadline:
+                    self._terminate(procs)
+                    missing = sorted(set(range(len(procs))) - reported)
+                    raise ShardError(
+                        f"timed out after {self.timeout}s waiting for "
+                        f"shard(s) {missing}"
+                    )
+                continue
+            shard_id = msg[1]
+            reported.add(shard_id)
+            if msg[0] == "error":
+                self._terminate(procs)
+                raise ShardWorkerError(
+                    f"shard {shard_id} worker raised:\n{msg[2]}"
+                )
+            _, _, results, ws, done_ts = msg
+            ws.queue_wait_s = max(0.0, time.monotonic() - done_ts)
+            messages[shard_id] = (results, ws)
+        return [messages[i] for i in sorted(messages)]
+
+    @staticmethod
+    def _terminate(procs):
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join()
+
+    # -- entry point ---------------------------------------------------------
+    def search_topk(self, queries, database) -> list[list[Hit]]:
+        """Global per-query top-K, merged across all shards."""
+        t_run = time.perf_counter()
+        enc_queries = [encode(q) for q in queries]
+        qmax = max((q.size for q in enc_queries), default=0)
+        if qmax == 0:
+            raise ShardError("sharded search needs at least one query")
+        plan = self.plan.resolved_for(qmax)
+        payloads = self._payloads(database, plan)
+        stats = ShardRunStats(num_shards=plan.num_shards)
+
+        ctx = multiprocessing.get_context(plan.start_method)
+        result_q = ctx.Queue()
+        t0 = time.perf_counter()
+        procs = [
+            ctx.Process(
+                target=run_shard,
+                args=(plan, shard_id, enc_queries, payloads[shard_id], result_q),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            for shard_id in range(plan.num_shards)
+        ]
+        for proc in procs:
+            proc.start()
+        stats.spawn_s = time.perf_counter() - t0
+
+        deadline = time.monotonic() + self.timeout if self.timeout is not None else None
+        try:
+            messages = self._gather(procs, result_q, deadline)
+        finally:
+            # Workers have either reported or been terminated; reap them.
+            for proc in procs:
+                proc.join(timeout=10.0)
+
+        t0 = time.perf_counter()
+        reducer = TopKReducer(
+            len(enc_queries), k=plan.search.k, min_score=plan.search.min_score
+        )
+        for results, ws in messages:
+            stats.add(ws)
+            reducer.absorb(results)
+        merged = reducer.results()
+        stats.merge_s = time.perf_counter() - t0
+        stats.total_s = time.perf_counter() - t_run
+        self.stats = stats
+        return merged
+
+    def report(self) -> str:
+        """Per-shard work/timing table of the last run (perf.report format)."""
+        if self.stats is None:
+            return "ShardedSearch: no run yet"
+        from repro.perf.report import shard_stats_table
+
+        return shard_stats_table(self.stats)
+
+
+def sharded_search_topk(
+    queries, database, num_shards: int | None = None, **kwargs
+) -> list[list[Hit]]:
+    """Convenience: one sharded run, merged top-K back (stats discarded)."""
+    timeout = kwargs.pop("timeout", None)
+    return ShardedSearch(num_shards, timeout=timeout, **kwargs).search_topk(
+        queries, database
+    )

@@ -1,0 +1,99 @@
+"""Per-shard work accounting for sharded search runs.
+
+Each worker process summarises its own pipeline run into a picklable
+:class:`ShardWorkerStats` (plain scalars, shipped back over the result
+queue alongside the hits); the parent folds them into a
+:class:`ShardRunStats` with the merge/total timing only it can observe.
+Rendered by :func:`repro.perf.report.shard_stats_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShardWorkerStats", "ShardRunStats"]
+
+
+@dataclass(slots=True)
+class ShardWorkerStats:
+    """One worker's summary of the shard it searched.
+
+    ``queue_wait_s`` is measured by the parent: the gap between the worker
+    stamping its result onto the queue (CLOCK_MONOTONIC is system-wide, so
+    the stamps compare across processes on one host) and the parent
+    unpickling it — transfer plus time spent behind other shards' results.
+    """
+
+    shard_id: int
+    chunks: int = 0  # reference windows this shard owned
+    candidates: int = 0  # (query, window) pairs the prefilter considered
+    admitted: int = 0
+    pairs: int = 0  # pairs verified (DP actually run)
+    batches: int = 0
+    cells_computed: int = 0
+    cells_skipped: int = 0  # band + prefilter savings
+    hits: int = 0  # hits in the shard's bounded top-K
+    search_s: float = 0.0  # worker-side wall time of the search itself
+    queue_wait_s: float = 0.0
+
+    @classmethod
+    def from_pipeline(cls, shard_id: int, ps, hits: int, search_s: float):
+        """Summarise a :class:`~repro.engine.stages.PipelineStats`."""
+        return cls(
+            shard_id=shard_id,
+            chunks=ps.items_in,
+            candidates=ps.candidates,
+            admitted=ps.admitted,
+            pairs=ps.pairs,
+            batches=ps.batches,
+            cells_computed=ps.cells_computed,
+            cells_skipped=ps.cells_skipped,
+            hits=hits,
+            search_s=search_s,
+        )
+
+
+@dataclass
+class ShardRunStats:
+    """Whole-run accounting: per-worker rows plus the parent-side phases."""
+
+    num_shards: int
+    workers: list = field(default_factory=list)  # ShardWorkerStats, by shard id
+    merge_s: float = 0.0  # global top-K reduction over gathered heaps
+    spawn_s: float = 0.0  # process creation + start
+    total_s: float = 0.0  # end-to-end wall time of the run
+
+    def add(self, ws: ShardWorkerStats):
+        self.workers.append(ws)
+        self.workers.sort(key=lambda w: w.shard_id)
+
+    def totals(self) -> dict:
+        """Summed work counters across shards (JSON-shaped, for benches)."""
+        out = {
+            "chunks": 0,
+            "candidates": 0,
+            "admitted": 0,
+            "pairs": 0,
+            "batches": 0,
+            "cells_computed": 0,
+            "cells_skipped": 0,
+            "hits": 0,
+        }
+        for w in self.workers:
+            for key in out:
+                out[key] += getattr(w, key)
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-shaped copy of the whole run (totals + phase timings)."""
+        searches = [w.search_s for w in self.workers]
+        return {
+            "num_shards": self.num_shards,
+            "shards_done": len(self.workers),
+            "totals": self.totals(),
+            "shard_mean_s": sum(searches) / len(searches) if searches else 0.0,
+            "shard_max_s": max(searches, default=0.0),
+            "merge_s": self.merge_s,
+            "spawn_s": self.spawn_s,
+            "total_s": self.total_s,
+        }

@@ -1,0 +1,68 @@
+"""The shard worker entrypoint: rebuild engine + pipeline, search, report.
+
+``run_shard`` is the ``multiprocessing.Process`` target.  It is a plain
+module-level function taking only picklable arguments (the resolved
+:class:`~repro.shard.plan.ShardPlan`, the shard id, pre-encoded queries,
+a database payload, and the result queue), so it works under the
+``spawn`` start method — nothing is inherited from the parent except what
+crosses the pickle boundary.
+
+Protocol: exactly one message per worker on the result queue —
+
+* ``("ok", shard_id, results, stats, done_ts)`` — the shard's bounded
+  per-query top-K (:class:`~repro.search.topk.Hit` lists), its
+  :class:`~repro.shard.stats.ShardWorkerStats`, and a CLOCK_MONOTONIC
+  stamp the parent turns into queue-wait time;
+* ``("error", shard_id, formatted_traceback, done_ts)`` — any exception,
+  so the parent re-raises a :class:`~repro.shard.search.ShardWorkerError`
+  instead of hanging on a silent worker death.
+
+A worker that dies without reporting at all (hard crash, OOM kill) is
+detected by the parent via its exit code.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.shard.plan import ShardPlan
+from repro.shard.stats import ShardWorkerStats
+
+__all__ = ["run_shard", "shard_engine_workers"]
+
+
+def shard_engine_workers(plan: ShardPlan) -> int | None:
+    """Worker-thread budget for one shard's engine.
+
+    ``None`` in the engine config means "size for the host"; a shard
+    worker divides the host's cores among its siblings so N processes
+    don't stack N full thread pools onto the same cores.
+    """
+    if plan.engine.max_workers is not None:
+        return plan.engine.max_workers
+    import os
+
+    return max(1, (os.cpu_count() or 1) // plan.num_shards)
+
+
+def run_shard(plan: ShardPlan, shard_id: int, queries: list, payload, out_q) -> None:
+    """Search one shard of the database; report exactly one queue message."""
+    try:
+        from repro.search.pipeline import search
+
+        scheme = plan.search.resolved_scheme()
+        source = payload.chunk_iter(plan, shard_id)
+        t0 = time.perf_counter()
+        with plan.engine.build(scheme, max_workers=shard_engine_workers(plan)) as engine:
+            run = search(queries, source, engine=engine, **plan.search.search_kwargs())
+            results = run.topk()
+            stats = ShardWorkerStats.from_pipeline(
+                shard_id,
+                run.stats,
+                hits=sum(len(hits) for hits in results),
+                search_s=time.perf_counter() - t0,
+            )
+        out_q.put(("ok", shard_id, results, stats, time.monotonic()))
+    except BaseException:
+        out_q.put(("error", shard_id, traceback.format_exc(), time.monotonic()))

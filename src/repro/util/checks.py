@@ -47,3 +47,23 @@ def check_in(value, options, name: str):
     if value not in options:
         raise ValidationError(f"{name} must be one of {sorted(options)!r}, got {value!r}")
     return value
+
+
+def check_no_callables(config) -> None:
+    """Reject callable fields on a config dataclass at construction.
+
+    The "picklable by construction" invariant shared by every config that
+    crosses a process boundary (SearchConfig, EngineConfig, ServiceConfig,
+    and anything ShardPlan embeds): lambdas and bound kernels must never
+    enter a config, and the rejection lives here exactly once.
+    """
+    import dataclasses
+
+    name = type(config).__name__
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if callable(value):
+            raise ValidationError(
+                f"{name}.{f.name} must be a value, not {value!r}: configs "
+                "cross process boundaries and must stay picklable"
+            )

@@ -1,7 +1,14 @@
 """Benchmark workload generation: genomes, reads, datasets, FASTA I/O,
 streaming reference chunking."""
 
-from repro.workloads.chunks import Chunk, chunk_records, chunk_sequence
+from repro.workloads.chunks import (
+    Chunk,
+    chunk_records,
+    chunk_sequence,
+    partition_chunks,
+    shard_chunks,
+    shard_of,
+)
 from repro.workloads.genomes import GenomePair, random_genome, related_pair
 from repro.workloads.mutate import MutationModel, mutate
 from repro.workloads.reads import IlluminaProfile, ReadSet, read_pairs, simulate_reads
@@ -24,6 +31,9 @@ __all__ = [
     "Chunk",
     "chunk_records",
     "chunk_sequence",
+    "partition_chunks",
+    "shard_chunks",
+    "shard_of",
     "GenomePair",
     "random_genome",
     "related_pair",

@@ -22,7 +22,14 @@ import numpy as np
 from repro.util.checks import ValidationError, check_positive
 from repro.util.encoding import encode
 
-__all__ = ["Chunk", "chunk_sequence", "chunk_records"]
+__all__ = [
+    "Chunk",
+    "chunk_sequence",
+    "chunk_records",
+    "shard_of",
+    "shard_chunks",
+    "partition_chunks",
+]
 
 
 @dataclass(slots=True)
@@ -81,6 +88,47 @@ def chunk_sequence(
             return
         pos += stride
         cid += 1
+
+
+def shard_of(chunk_id: int, num_shards: int) -> int:
+    """Deterministic chunk → shard assignment: round-robin on the global id.
+
+    A pure function of the chunk ordinal, so every process that windows the
+    same reference with the same parameters agrees on ownership without any
+    coordination — the invariant the sharded search subsystem
+    (:mod:`repro.shard`) rests on.  Round-robin also balances load when
+    admission density varies along the reference: neighbouring windows
+    (which tend to admit together) land on different shards.
+    """
+    check_positive(num_shards, "num_shards")
+    return chunk_id % num_shards
+
+
+def shard_chunks(
+    chunks: Iterable[Chunk], num_shards: int, shard_id: int
+) -> Iterator[Chunk]:
+    """Lazily filter a chunk stream down to one shard's owned windows."""
+    check_positive(num_shards, "num_shards")
+    if not 0 <= shard_id < num_shards:
+        raise ValidationError(
+            f"shard_id must be in [0, {num_shards}), got {shard_id}"
+        )
+    for chunk in chunks:
+        if shard_of(chunk.id, num_shards) == shard_id:
+            yield chunk
+
+
+def partition_chunks(chunks: Iterable[Chunk], num_shards: int) -> list[list[Chunk]]:
+    """Materialize a chunk stream into per-shard lists (same assignment).
+
+    Used when the database is already windowed (a chunk iterator cannot be
+    regenerated inside workers); each shard's list preserves scan order.
+    """
+    check_positive(num_shards, "num_shards")
+    parts: list[list[Chunk]] = [[] for _ in range(num_shards)]
+    for chunk in chunks:
+        parts[shard_of(chunk.id, num_shards)].append(chunk)
+    return parts
 
 
 def chunk_records(records: Iterable, window: int, overlap: int = 0) -> Iterator[Chunk]:

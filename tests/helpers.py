@@ -103,3 +103,27 @@ def assert_valid_result(result, q, s, scheme):
         assert result.query_end == len(qs) or result.subject_end == len(ss)
     else:
         assert result.score >= 0
+
+
+def planted_instance(ref_len, count, qlen, seed, divergence=0.02):
+    """Search-test instance: reference + queries sampled from it with
+    mild mutations (one definition shared by the search and shard suites)."""
+    from repro.util.rng import make_rng
+    from repro.workloads import MutationModel, mutate, random_genome
+
+    rng = make_rng(seed)
+    ref = random_genome(ref_len, seed=rng)
+    positions = rng.integers(0, ref.size - qlen, count)
+    model = MutationModel(
+        substitution=divergence, insertion=0.001, deletion=0.001, indel_mean=2.0
+    )
+    queries = [mutate(ref[p : p + qlen], model, seed=rng) for p in positions]
+    return ref, queries, positions
+
+
+def hit_keys(per_query):
+    """Full identity tuples of per-query hit lists, for parity assertions."""
+    return [
+        [(h.record, h.start, h.end, h.score, h.chunk_id, h.seeds) for h in hits]
+        for hits in per_query
+    ]

@@ -19,20 +19,11 @@ from repro.search import (
 from repro.util.checks import ValidationError
 from repro.util.encoding import encode
 from repro.util.rng import make_rng
-from repro.workloads import MutationModel, chunk_sequence, mutate, random_genome
+from repro.workloads import chunk_sequence, random_genome
 from repro.workloads.chunks import Chunk
 
 
-def _planted_instance(ref_len, count, qlen, seed, divergence=0.02):
-    """Reference + queries sampled from it with mild mutations."""
-    rng = make_rng(seed)
-    ref = random_genome(ref_len, seed=rng)
-    positions = rng.integers(0, ref.size - qlen, count)
-    model = MutationModel(
-        substitution=divergence, insertion=0.001, deletion=0.001, indel_mean=2.0
-    )
-    queries = [mutate(ref[p : p + qlen], model, seed=rng) for p in positions]
-    return ref, queries, positions
+from helpers import planted_instance as _planted_instance
 
 
 def _hit_keys(per_query):
@@ -105,6 +96,18 @@ class TestTopKReducer:
             red.offer(0, self._chunk(cid, start), 5)
         (hits,) = red.results()
         assert [h.start for h in hits] == [10, 20]
+
+    def test_ties_prefer_earlier_records_over_starts(self):
+        """Regression: the tie order is (score, record, start) — a later
+        record's smaller window offset must not outrank an earlier record,
+        or sharded merges would depend on shard arrival order."""
+        red = TopKReducer(1, k=1)
+        late = Chunk(id=9, record="chr2", start=5, sequence=np.zeros(10, np.uint8))
+        early = Chunk(id=3, record="chr1", start=400, sequence=np.zeros(10, np.uint8))
+        red.offer(0, late, 5)
+        red.offer(0, early, 5)
+        (hits,) = red.results()
+        assert (hits[0].record, hits[0].start) == ("chr1", 400)
 
     def test_min_score_filters(self):
         red = TopKReducer(1, k=5, min_score=10)

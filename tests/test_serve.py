@@ -420,3 +420,53 @@ class TestSyncClient:
         with pytest.raises(ServiceClosedError):
             SyncAlignmentClient(service=svc)
         assert threading.active_count() == before  # loop thread joined
+
+
+class TestBackendRouting:
+    """Satellite: per-bucket backend routing behind the ServiceConfig flag."""
+
+    def test_backend_for_policy(self):
+        from repro.serve import ServiceConfig
+
+        off = ServiceConfig()
+        assert off.backend_for(64, 64) is None
+        cfg = ServiceConfig(route_backends=True, full_lane_fraction=0.5)
+        assert cfg.backend_for(64, 64) == "simd"
+        assert cfg.backend_for(32, 64) == "simd"  # at the threshold
+        assert cfg.backend_for(31, 64) == "rowscan"
+        assert cfg.backend_for(1, 64) == "rowscan"
+
+    def test_config_validates(self):
+        from repro.serve import ServiceConfig
+
+        with pytest.raises(ValidationError):
+            ServiceConfig(full_lane_fraction=0.0)
+        with pytest.raises(ValidationError):
+            ServiceConfig(full_lane_fraction=1.5)
+
+    def test_routed_scores_bit_identical(self):
+        """Routing changes the cost model, never the scores."""
+        from repro.engine import PlanCache
+        from repro.serve import ServiceConfig
+
+        pairs = _pairs(70, seed=19, lengths=(48,))  # one shape: full + straggler
+
+        def run(config):
+            async def main():
+                with ExecutionEngine(backend="rowscan", plan_cache=PlanCache()) as eng:
+                    async with AlignmentService(
+                        eng, target_batch=32, max_linger=0.002, config=config
+                    ) as svc:
+                        scores = await asyncio.gather(
+                            *(svc.submit(q, s) for q, s in pairs)
+                        )
+                        return list(scores), dict(eng.stats.backends_used)
+
+            return asyncio.run(main())
+
+        plain, plain_backends = run(None)
+        routed, routed_backends = run(ServiceConfig(route_backends=True))
+        assert routed == plain
+        assert set(plain_backends) == {"rowscan"}
+        # Full lanes went to simd; any straggler flush stayed on rowscan.
+        assert routed_backends.get("simd", 0) >= 1

@@ -1,0 +1,444 @@
+"""Tests for the sharded search subsystem (repro.shard)."""
+
+import asyncio
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.search import SearchConfig, TopKReducer, merge_topk, search_topk
+from repro.search.topk import Hit
+from repro.serve import AlignmentService, ServiceConfig, SyncAlignmentClient
+from repro.shard import (
+    ChunkPayload,
+    RecordPayload,
+    ShardedSearch,
+    ShardError,
+    ShardPlan,
+    ShardRouter,
+    ShardWorkerError,
+    build_payloads,
+    sharded_search_topk,
+)
+from repro.util.checks import ReproError, ValidationError
+from repro.util.rng import make_rng
+from repro.workloads import (
+    FastaRecord,
+    chunk_sequence,
+    partition_chunks,
+    random_genome,
+    shard_chunks,
+    shard_of,
+)
+
+
+from helpers import hit_keys as _hit_keys
+from helpers import planted_instance
+
+
+def _planted_instance(ref_len, count, qlen, seed, divergence=0.02):
+    ref, queries, _ = planted_instance(ref_len, count, qlen, seed, divergence)
+    return ref, queries
+
+
+class TestPartitioning:
+    def test_shard_of_round_robin(self):
+        assert [shard_of(i, 3) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_shard_of_validates(self):
+        with pytest.raises(ValidationError):
+            shard_of(0, 0)
+
+    def test_shard_chunks_disjoint_cover(self):
+        chunks = list(chunk_sequence(random_genome(2000, seed=1), 200, 50))
+        shards = [list(shard_chunks(iter(chunks), 3, i)) for i in range(3)]
+        ids = [sorted(c.id for c in part) for part in shards]
+        assert sorted(sum(ids, [])) == [c.id for c in chunks]
+        for i, part in enumerate(shards):
+            assert all(c.id % 3 == i for c in part)
+
+    def test_shard_chunks_validates_shard_id(self):
+        with pytest.raises(ValidationError):
+            list(shard_chunks(iter(()), 2, 2))
+
+    def test_partition_chunks_preserves_scan_order(self):
+        chunks = list(chunk_sequence(random_genome(2000, seed=2), 150, 0))
+        parts = partition_chunks(iter(chunks), 4)
+        assert len(parts) == 4
+        for part in parts:
+            assert [c.id for c in part] == sorted(c.id for c in part)
+        assert sum(len(p) for p in parts) == len(chunks)
+
+
+class TestConfigsPicklable:
+    """Satellite: plan/stage configs pickle round-trip by construction."""
+
+    def test_round_trips(self):
+        for obj in (
+            SearchConfig(k=3, kmer=9, min_score=5),
+            EngineConfig(backend="simd", dtype="int16", lanes=32),
+            ServiceConfig(route_backends=True, full_lane_fraction=0.25),
+            ShardPlan(num_shards=3, search=SearchConfig(k=2)),
+        ):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert clone == obj
+
+    def test_callables_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="picklable"):
+            SearchConfig(min_score=lambda: 5)
+        with pytest.raises(ValidationError, match="picklable"):
+            EngineConfig(max_workers=lambda: 2)
+        with pytest.raises(ValidationError):
+            ServiceConfig(full_lane_backend=lambda b: "simd")
+
+    def test_search_config_validates(self):
+        with pytest.raises(ValidationError, match="verify"):
+            SearchConfig(verify="sometimes")
+        with pytest.raises(ValidationError, match="AlignmentScheme"):
+            SearchConfig(scheme="global")
+
+    def test_plan_validates(self):
+        with pytest.raises(ValidationError, match="start_method"):
+            ShardPlan(start_method="thread")
+        with pytest.raises(ValidationError):
+            ShardPlan(num_shards=0)
+
+    def test_resolved_plan_is_idempotent_and_picklable(self):
+        plan = ShardPlan(num_shards=2, search=SearchConfig(k=4))
+        resolved = plan.resolved_for(100)
+        assert resolved.search.window == 200
+        assert resolved.search.overlap == 116
+        assert resolved.resolved_for(100) == resolved
+        assert pickle.loads(pickle.dumps(resolved)) == resolved
+
+    def test_engine_config_builds_engine(self):
+        with EngineConfig(backend="rowscan", max_workers=1).build() as eng:
+            assert isinstance(eng, ExecutionEngine)
+            assert int(eng.submit_batch(["ACGT"], ["ACGT"])[0]) == 8
+
+    def test_engine_config_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            EngineConfig(dtype="floatish")
+
+
+class TestMergeableTopK:
+    def _hit(self, score, record="r", start=0, chunk_id=0, qid=0):
+        return Hit(
+            query_id=qid, record=record, start=start, end=start + 10,
+            score=score, chunk_id=chunk_id,
+        )
+
+    def test_ties_prefer_earlier_records(self):
+        """Regression (satellite 1): score ties order by record before start."""
+        red = TopKReducer(1, k=2)
+        late_rec_early_start = self._hit(5, record="chr2", start=10, chunk_id=9)
+        early_rec_late_start = self._hit(5, record="chr1", start=500, chunk_id=3)
+        third = self._hit(5, record="chr3", start=0, chunk_id=11)
+        for h in (late_rec_early_start, third, early_rec_late_start):
+            red.offer_hit(h)
+        (hits,) = red.results()
+        assert [(h.record, h.start) for h in hits] == [("chr1", 500), ("chr2", 10)]
+
+    def test_arrival_order_invariance(self):
+        rng = np.random.default_rng(3)
+        hits = [
+            self._hit(int(rng.integers(0, 5)), record=f"r{int(rng.integers(3))}",
+                      start=int(rng.integers(0, 50)) * 10, chunk_id=cid)
+            for cid in range(40)
+        ]
+        expect = None
+        for _ in range(5):
+            order = list(hits)
+            rng.shuffle(order)
+            red = TopKReducer(1, k=7)
+            for h in order:
+                red.offer_hit(h)
+            got = _hit_keys(red.results())
+            if expect is None:
+                expect = got
+            assert got == expect
+
+    def test_merge_equals_unsharded(self):
+        rng = np.random.default_rng(4)
+        hits = [
+            self._hit(int(rng.integers(0, 30)), record="r", start=cid * 7, chunk_id=cid,
+                      qid=cid % 3)
+            for cid in range(60)
+        ]
+        full = TopKReducer(3, k=5)
+        for h in hits:
+            full.offer_hit(h)
+        # Shard by chunk id, bound each shard to the same k, merge.
+        shard_results = []
+        for shard in range(4):
+            red = TopKReducer(3, k=5)
+            for h in hits:
+                if h.chunk_id % 4 == shard:
+                    red.offer_hit(h)
+            shard_results.append(red.results())
+        merged = merge_topk(shard_results, num_queries=3, k=5)
+        assert _hit_keys(merged) == _hit_keys(full.results())
+
+    def test_absorb_respects_min_score_and_k(self):
+        red = TopKReducer(1, k=2, min_score=10)
+        kept = red.absorb([[self._hit(9), self._hit(11, chunk_id=1),
+                            self._hit(12, chunk_id=2), self._hit(13, chunk_id=3)]])
+        assert kept == 3  # 9 filtered; 11 admitted then evicted by 13
+        (hits,) = red.results()
+        assert [h.score for h in hits] == [13, 12]
+
+
+class TestPayloads:
+    def test_raw_sequence_ships_one_record(self):
+        plan = ShardPlan(num_shards=3, search=SearchConfig(window=100, overlap=20))
+        payloads = build_payloads(random_genome(1000, seed=5), plan)
+        assert len(payloads) == 3
+        assert all(isinstance(p, RecordPayload) for p in payloads)
+        owned = [list(p.chunk_iter(plan, i)) for i, p in enumerate(payloads)]
+        ids = sorted(c.id for part in owned for c in part)
+        assert ids == list(range(len(ids))) and len(ids) > 0
+
+    def test_prewindowed_chunks_partition(self):
+        chunks = list(chunk_sequence(random_genome(1000, seed=6), 100, 20))
+        plan = ShardPlan(num_shards=2)
+        payloads = build_payloads(iter(chunks), plan)
+        assert all(isinstance(p, ChunkPayload) for p in payloads)
+        got = [c.id for p in payloads for c in p.chunks]
+        assert sorted(got) == [c.id for c in chunks]
+
+    def test_unresolved_plan_refuses_to_window(self):
+        plan = ShardPlan(num_shards=2)  # no window/overlap resolved
+        (payload, _) = build_payloads(random_genome(500, seed=7), plan)
+        with pytest.raises(ValidationError, match="unresolved"):
+            list(payload.chunk_iter(plan, 0))
+
+
+class TestShardedSearch:
+    def test_four_shards_bit_identical_spawn(self):
+        """Acceptance: 4 spawn workers return the single-process hit set."""
+        ref, queries = _planted_instance(30000, 8, 100, seed=21)
+        single = search_topk(queries, ref, k=5)
+        sharded = ShardedSearch(num_shards=4, k=5, timeout=300)
+        got = sharded.search_topk(queries, ref)
+        assert _hit_keys(got) == _hit_keys(single)
+        stats = sharded.stats
+        assert len(stats.workers) == 4
+        assert stats.totals()["pairs"] > 0
+        assert all(w.queue_wait_s >= 0.0 for w in stats.workers)
+        assert "Sharded search (4 shards)" in sharded.report()
+
+    def test_single_shard_degenerate(self):
+        ref, queries = _planted_instance(12000, 4, 80, seed=22)
+        plan = ShardPlan(num_shards=1, search=SearchConfig(k=3), start_method="fork")
+        got = ShardedSearch(plan=plan, timeout=120).search_topk(queries, ref)
+        assert _hit_keys(got) == _hit_keys(search_topk(queries, ref, k=3))
+
+    def test_multi_record_database(self):
+        rng = make_rng(23)
+        records = [
+            FastaRecord(name=f"ctg{i}", sequence=random_genome(6000, seed=rng))
+            for i in range(3)
+        ]
+        queries = [records[i % 3].sequence[200:280] for i in range(5)]
+        plan = ShardPlan(num_shards=3, search=SearchConfig(k=4), start_method="fork")
+        got = ShardedSearch(plan=plan, timeout=120).search_topk(queries, records)
+        assert _hit_keys(got) == _hit_keys(search_topk(queries, records, k=4))
+
+    def test_prewindowed_chunk_database(self):
+        ref, queries = _planted_instance(10000, 3, 80, seed=24)
+        chunks = list(chunk_sequence(ref, 160, 96))
+        plan = ShardPlan(num_shards=2, search=SearchConfig(k=3), start_method="fork")
+        got = ShardedSearch(plan=plan, timeout=120).search_topk(queries, iter(chunks))
+        assert _hit_keys(got) == _hit_keys(search_topk(queries, chunks, k=3))
+
+    def test_convenience_wrapper(self):
+        ref, queries = _planted_instance(8000, 2, 80, seed=25)
+        plan_kwargs = dict(k=2, kmer=9)
+        got = sharded_search_topk(
+            queries, ref, num_shards=2,
+            plan=ShardPlan(num_shards=2, search=SearchConfig(**plan_kwargs),
+                           start_method="fork"),
+            timeout=120,
+        )
+        assert _hit_keys(got) == _hit_keys(search_topk(queries, ref, **plan_kwargs))
+
+    def test_engine_kwarg_rejected(self):
+        with pytest.raises(ReproError, match="EngineConfig"):
+            ShardedSearch(2, engine=object())
+
+    def test_plan_and_kwargs_conflict(self):
+        with pytest.raises(ReproError, match="not both"):
+            ShardedSearch(2, plan=ShardPlan(num_shards=2), k=5)
+
+    def test_plan_and_num_shards_conflict(self):
+        with pytest.raises(ReproError, match="conflicts"):
+            ShardedSearch(8, plan=ShardPlan(num_shards=2))
+        # A matching explicit count (or none at all) is fine.
+        assert ShardedSearch(2, plan=ShardPlan(num_shards=2)).plan.num_shards == 2
+        assert ShardedSearch(plan=ShardPlan(num_shards=2)).plan.num_shards == 2
+
+
+class _ExitBomb:
+    """Payload whose chunk_iter kills the worker without reporting."""
+
+    def chunk_iter(self, plan, shard_id):
+        if shard_id == 1:
+            os._exit(3)
+        return iter(())
+
+
+class _SilentExitBomb:
+    """Payload whose chunk_iter exits the worker cleanly without reporting."""
+
+    def chunk_iter(self, plan, shard_id):
+        if shard_id == 1:
+            os._exit(0)
+        return iter(())
+
+
+class _HangBomb:
+    """Payload whose chunk_iter wedges the worker forever."""
+
+    def chunk_iter(self, plan, shard_id):
+        time.sleep(600)
+        return iter(())
+
+
+class _BombedSearch(ShardedSearch):
+    def __init__(self, bomb, **kwargs):
+        super().__init__(**kwargs)
+        self._bomb = bomb
+
+    def _payloads(self, database, plan):
+        return [self._bomb] * plan.num_shards
+
+
+class TestWorkerFailures:
+    def _plan(self):
+        return ShardPlan(num_shards=2, start_method="fork")
+
+    def test_worker_exception_surfaces(self):
+        ref, queries = _planted_instance(4000, 2, 80, seed=26)
+        plan = ShardPlan(
+            num_shards=2, start_method="fork",
+            engine=EngineConfig(backend="no-such-backend"),
+        )
+        with pytest.raises(ShardWorkerError, match="worker raised"):
+            ShardedSearch(plan=plan, timeout=120).search_topk(queries, ref)
+
+    def test_worker_hard_crash_is_error_not_hang(self):
+        ref, queries = _planted_instance(4000, 2, 80, seed=27)
+        sharded = _BombedSearch(_ExitBomb(), plan=self._plan(), timeout=120)
+        t0 = time.perf_counter()
+        with pytest.raises(ShardWorkerError, match="exit code 3"):
+            sharded.search_topk(queries, ref)
+        assert time.perf_counter() - t0 < 60
+
+    def test_silent_exit0_death_is_error_not_hang(self, monkeypatch):
+        """Exit code 0 without a result must not satisfy the gather loop."""
+        import repro.shard.search as shard_search
+
+        monkeypatch.setattr(shard_search, "_DEAD_GRACE_S", 0.5)
+        ref, queries = _planted_instance(4000, 2, 80, seed=29)
+        sharded = _BombedSearch(_SilentExitBomb(), plan=self._plan(), timeout=120)
+        t0 = time.perf_counter()
+        with pytest.raises(ShardWorkerError, match="never reported"):
+            sharded.search_topk(queries, ref)
+        assert time.perf_counter() - t0 < 60
+
+    def test_gather_timeout(self):
+        ref, queries = _planted_instance(4000, 2, 80, seed=28)
+        sharded = _BombedSearch(_HangBomb(), plan=self._plan(), timeout=2.0)
+        with pytest.raises(ShardError, match="timed out"):
+            sharded.search_topk(queries, ref)
+
+
+class TestShardRouter:
+    def test_requires_windowing_hint_for_raw_database(self):
+        with pytest.raises(ValidationError, match="window"):
+            ShardRouter(2, database=random_genome(1000, seed=30))
+        # window alone is not enough either: without the query extent the
+        # router would have to guess an overlap and could lose
+        # boundary-spanning placements.
+        with pytest.raises(ValidationError, match="max_query"):
+            ShardRouter(2, database=random_genome(1000, seed=30), window=200)
+        # window + max_query derives a safe overlap.
+        router = ShardRouter(
+            2, database=random_genome(1000, seed=30), window=200, max_query=80
+        )
+        assert router.num_shards == 2
+
+    def test_prewindowed_database_needs_no_windowing(self):
+        chunks = list(chunk_sequence(random_genome(1000, seed=34), 100, 20))
+        router = ShardRouter(2, database=iter(chunks))
+        owned = [svc._database for svc in router.services]
+        assert sorted(c.id for part in owned for c in part) == [c.id for c in chunks]
+
+    def test_search_fanout_parity_and_load_routing(self):
+        ref, queries = _planted_instance(16000, 5, 80, seed=31)
+        window, overlap = 160, 96
+        kw = {"k": 4, "window": window, "overlap": overlap}
+
+        async def single():
+            async with AlignmentService(database=ref, search_kwargs=dict(kw)) as svc:
+                return [await svc.submit_search(q) for q in queries]
+
+        async def routed():
+            router = ShardRouter(
+                2, database=ref, window=window, overlap=overlap,
+                search_kwargs=dict(kw),
+            )
+            async with router:
+                hits = [await router.submit_search(q) for q in queries]
+                scores = await asyncio.gather(
+                    *(router.submit(q, ref[:80]) for q in queries)
+                )
+                snap = router.stats.snapshot()
+                report = router.report()
+            return hits, list(scores), snap, report
+
+        expect = asyncio.run(single())
+        hits, scores, snap, report = asyncio.run(routed())
+        assert [_hit_keys([h])[0] for h in hits] == [_hit_keys([h])[0] for h in expect]
+
+        with ExecutionEngine(backend="rowscan") as eng:
+            direct = [int(x) for x in eng.submit_batch(queries, [ref[:80]] * len(queries))]
+        assert scores == direct
+
+        per_shard = snap["per_shard"]
+        assert len(per_shard) == 2
+        # Searches fan out to every shard; scores route by load — every
+        # service must have seen traffic.
+        assert all(s["submitted"] > 0 for s in per_shard)
+        assert snap["completed"] == sum(s["completed"] for s in per_shard)
+        assert "Shard router" in report and "Per-shard services" in report
+
+    def test_sync_client_drives_router_unchanged(self):
+        ref, queries = _planted_instance(12000, 3, 80, seed=32)
+        router = ShardRouter(
+            2, database=ref, max_query=80, search_kwargs={"k": 3}
+        )
+        with SyncAlignmentClient(service=router) as client:
+            hits = client.search(queries[0])
+            scores = client.score_many([(q, ref[:80]) for q in queries])
+        assert router.closed
+        single = search_topk([queries[0]], ref, k=3)[0]
+        assert _hit_keys([hits]) == _hit_keys([single])
+        with ExecutionEngine(backend="rowscan") as eng:
+            direct = [int(x) for x in eng.submit_batch(queries, [ref[:80]] * len(queries))]
+        assert scores == direct
+
+    def test_prebuilt_services(self):
+        ref, _ = _planted_instance(6000, 2, 80, seed=33)
+        services = [AlignmentService(), AlignmentService()]
+        router = ShardRouter(services=services)
+        assert router.num_shards == 2
+
+        async def run():
+            async with router:
+                return await router.submit("ACGTACGTAC", "ACGTACGTAC")
+
+        assert asyncio.run(run()) == 20
