@@ -33,7 +33,31 @@ import numpy as np
 from repro.core.types import NEG_INF, AlignmentScheme, AlignmentType
 from repro.util.checks import ValidationError, check_sequence
 
-__all__ = ["banded_score", "band_cells"]
+__all__ = ["banded_score", "banded_score_lanes", "band_cells", "effective_band"]
+
+
+def effective_band(n: int, m: int, band: int, scheme: AlignmentScheme, widen: bool = False) -> int:
+    """Validate/widen ``band`` for an ``n × m`` problem (shared closure).
+
+    Global schemes need ``band ≥ |n − m|`` to reach the corner; with
+    ``widen=True`` an infeasible band is widened to that minimum instead of
+    raising.  Semiglobal schemes accept any ``band ≥ 0``.  Both the scalar
+    sweep and the lane-stack driver resolve their band through here, so the
+    two paths always agree on the relaxed region.
+    """
+    at = scheme.alignment_type
+    if at is AlignmentType.LOCAL:
+        raise ValidationError("banded alignment supports global and semiglobal schemes only")
+    if band < 0:
+        raise ValidationError(f"band must be >= 0, got {band}")
+    if at is AlignmentType.GLOBAL and band < abs(n - m):
+        if widen:
+            return abs(n - m)
+        raise ValidationError(
+            f"band {band} cannot reach the corner of a {n}x{m} problem "
+            f"(needs at least {abs(n - m)}; pass widen=True to auto-widen)"
+        )
+    return band
 
 
 def band_cells(n: int, m: int, band: int) -> int:
@@ -62,22 +86,11 @@ def banded_score(
     feasible).  Local schemes are rejected.
     """
     at = scheme.alignment_type
-    if at is AlignmentType.LOCAL:
-        raise ValidationError("banded alignment supports global and semiglobal schemes only")
     semiglobal = at is AlignmentType.SEMIGLOBAL
     q = check_sequence(np.asarray(query, dtype=np.uint8), "query")
     s = check_sequence(np.asarray(subject, dtype=np.uint8), "subject")
     n, m = q.size, s.size
-    if band < 0:
-        raise ValidationError(f"band must be >= 0, got {band}")
-    if not semiglobal and band < abs(n - m):
-        if widen:
-            band = abs(n - m)
-        else:
-            raise ValidationError(
-                f"band {band} cannot reach the corner of a {n}x{m} problem "
-                f"(needs at least {abs(n - m)}; pass widen=True to auto-widen)"
-            )
+    band = effective_band(n, m, band, scheme, widen)
     gaps = scheme.scoring.gaps
     table = scheme.scoring.subst.table.astype(np.int64)
     affine = gaps.is_affine
@@ -160,3 +173,73 @@ def banded_score(
         # column 0 is in band at row n, −∞ otherwise — safe to include.
         best_tail = max(best_tail, int(H[lo - 1 : hi + 1].max()))
     return best_tail
+
+
+def banded_score_lanes(
+    queries,
+    subjects,
+    scheme: AlignmentScheme,
+    band: int,
+    widen: bool = False,
+    dtype=np.int32,
+) -> np.ndarray:
+    """Banded scores of a batch of independent same-shape pairs.
+
+    ``queries`` is (lanes, n) and ``subjects`` is (lanes, m); every lane is
+    swept with the same (scheme, band)-specialized compiled kernel
+    (:func:`repro.core.kernels.build_banded_kernel`), relaxing the whole
+    stack per row — the banded analogue of
+    :func:`repro.core.kernels.score_lanes`.  Returns a (lanes,) int64 score
+    vector bit-identical to calling :func:`banded_score` per pair.
+    """
+    from repro.core.kernels import _check_headroom, build_banded_kernel, pick_neg_inf
+    from repro.stage import global_kernel_cache
+
+    at = scheme.alignment_type
+    semiglobal = at is AlignmentType.SEMIGLOBAL
+    q = np.ascontiguousarray(queries, dtype=np.uint8)
+    s = np.ascontiguousarray(subjects, dtype=np.uint8)
+    if q.ndim != 2 or s.ndim != 2 or q.shape[0] != s.shape[0]:
+        raise ValidationError("queries/subjects must be (lanes, n)/(lanes, m)")
+    lanes, n = q.shape
+    m = s.shape[1]
+    if n == 0 or m == 0 or lanes == 0:
+        raise ValidationError("empty batch or empty sequences")
+    if q.max(initial=0) > 3 or s.max(initial=0) > 3:
+        raise ValidationError("sequence codes outside 0..3")
+    band = effective_band(n, m, band, scheme, widen)
+    _check_headroom(scheme, n, m, dtype)
+
+    gaps = scheme.scoring.gaps
+    affine = gaps.is_affine
+    ninf = pick_neg_inf(dtype)
+    idx = np.arange(m + 1, dtype=dtype)
+    hi0 = min(m, band)
+
+    H = np.full((lanes, m + 1), ninf, dtype=dtype)
+    if semiglobal:
+        H[:, : hi0 + 1] = 0
+    elif affine:
+        H[:, : hi0 + 1] = gaps.open + gaps.extend * idx[: hi0 + 1]
+    else:
+        H[:, : hi0 + 1] = gaps.gap * idx[: hi0 + 1]
+    H[:, 0] = 0
+    C = np.empty_like(H)
+    E = np.full_like(H, ninf) if affine else None
+    ramp = (idx * (-gaps.extend if affine else -gaps.gap)).astype(dtype)
+    out = np.empty((lanes,), dtype=dtype)
+    # Semiglobal: seed with the H(0, m) border cell (0 iff band reaches m),
+    # exactly the scalar sweep's best_tail initialisation.
+    out[:] = H[:, m]
+
+    kern = global_kernel_cache.get_or_build(
+        ("banded", band) + scheme.cache_key(),
+        lambda: build_banded_kernel(scheme, band),
+    )
+    args = [q, s, n, m, H, C, ramp, out, ninf]
+    if E is not None:
+        args.append(E)
+    if not scheme.scoring.subst.is_simple:
+        args.append(scheme.scoring.subst.table.astype(dtype))
+    kern(*args)
+    return out.astype(np.int64)

@@ -47,14 +47,18 @@ from repro.stage import (
     ScanMax,
     Select,
     Shift,
+    as_expr,
+    banded_rows,
     build_kernel,
     global_kernel_cache,
     smax,
+    smin,
 )
 from repro.util.checks import ValidationError, check_sequence
 
 __all__ = [
     "build_rowscan_kernel",
+    "build_banded_kernel",
     "build_matrix_kernel",
     "score_rowscan",
     "score_lanes",
@@ -152,6 +156,120 @@ def build_rowscan_kernel(scheme: AlignmentScheme):
         b.store("out", (Ellipsis,), H.at(m))
     elif at is AlignmentType.SEMIGLOBAL:
         b.store("out", (Ellipsis,), smax(b.load("out", (Ellipsis,)), ReduceMax(H.whole())))
+
+    return build_kernel(b, dialect="vector")
+
+
+def build_banded_kernel(scheme: AlignmentScheme, band: int):
+    """Trace + specialize + compile the banded row-sweep kernel.
+
+    The banded analogue of :func:`build_rowscan_kernel`, specialized on
+    (scheme, band): rows are walked by the :func:`repro.stage.banded_rows`
+    generator and each row only relaxes its ``[max(1, i−band),
+    min(m, i+band)]`` window, with the same prefix-scan gap closure.
+    Generated signature::
+
+        kernel(q, s, n, m, H, C, ramp, out, ninf [, E] [, table])
+
+    All reads keep a leading ellipsis, so the one kernel serves a single
+    pair and a (lanes, m+1) row stack alike — this is the lane-batched
+    verify path.  The statement sequence mirrors the scalar sweep in
+    :func:`repro.core.banded.banded_score` row for row (same windows, same
+    border/dead-cell writes), so scores are bit-identical to it: sentinel
+    cells never dominate an in-band cell (every in-band cell carries a
+    real diagonal-entry path value, and sentinel arithmetic only drives
+    values further down), hence only band geometry decides the result.
+    """
+    at = scheme.alignment_type
+    if at is AlignmentType.LOCAL:
+        raise ValidationError("banded kernels support global and semiglobal schemes only")
+    if band < 0:
+        raise ValidationError(f"band must be >= 0, got {band}")
+    affine = scheme.scoring.is_affine
+    simple = scheme.scoring.subst.is_simple
+    gaps = scheme.scoring.gaps
+    semiglobal = at is AlignmentType.SEMIGLOBAL
+
+    params = ["q", "s", "n", "m", "H", "C", "ramp", "out", "ninf"]
+    if affine:
+        params.append("E")
+    if not simple:
+        params.append("table")
+
+    b = KernelBuilder(
+        f"banded{band}_{at.value}_{'affine' if affine else 'linear'}",
+        params,
+        docstring=f"specialized banded row-sweep kernel: band={band} {scheme.cache_key()}",
+    )
+    n, m = b.var("n"), b.var("m")
+    qv = SequenceView("q", n, lanes=True)
+    H, C = RowView("H"), RowView("C")
+    E = RowView("E") if affine else None
+    table = TableView("table") if not simple else None
+    ninf = b.var("ninf")
+    if affine:
+        go, ge = gaps.open, gaps.extend
+    else:
+        g = gaps.gap
+
+    def ramp_cells(a, z):
+        return b.load("ramp", (b.slice(a, z),))
+
+    def row(i, lo, hi):
+        qc = b.let(qv.col(i - 1), "qc")
+        sw = b.let(b.load("s", (Ellipsis, b.slice(lo - 1, hi))), "sw")
+        sub = b.let(subst_expr(scheme, qc, sw, table), "sub")
+        hd = b.let(H.cells(lo - 1, hi), "hd")  # diagonal sources H(i-1, lo-1..hi-1)
+        hv = b.let(H.cells(lo, hi + 1), "hv")  # vertical sources H(i-1, lo..hi)
+        if affine:
+            ew = b.let(smax(E.cells(lo, hi + 1) + ge, hv + go + ge), "ew")
+            E.put(b, lo, hi + 1, ew)
+            E.put_at(b, lo - 1, ninf)  # cell left of the band is dead
+            cand = b.let(smax(hd + sub, ew), "cand")
+        else:
+            cand = b.let(smax(hd + sub, hv + g), "cand")
+        C.put(b, lo, hi + 1, cand)
+        # Border cell (i, 0) while column 0 is inside the band (i ≤ band);
+        # once the window detaches from column 0, the cell left of the scan
+        # range is out of band and must read as −∞.
+        if semiglobal:
+            border = Const(0)
+        else:
+            border = (go + ge * i) if affine else g * i
+        if band >= 1:
+            with b.if_(as_expr(i) <= band):
+                C.put_at(b, 0, border)
+            with b.else_():
+                C.put_at(b, lo - 1, ninf)
+        else:
+            C.put_at(b, lo - 1, ninf)
+        scan = b.let(ScanMax(C.cells(lo - 1, hi + 1) + ramp_cells(lo - 1, hi + 1)), "scan")
+        if affine:
+            f_row = Shift(scan, 1, ninf) + go - ramp_cells(lo - 1, hi + 1)
+            H.put(b, lo - 1, hi + 1, smax(C.cells(lo - 1, hi + 1), f_row))
+        else:
+            H.put(b, lo - 1, hi + 1, scan - ramp_cells(lo - 1, hi + 1))
+        with b.if_(as_expr(i) > band + 1):  # lo > 1: kill the cell left of the band
+            H.put_at(b, lo - 1, ninf)
+        if semiglobal:
+            with b.if_(hi.eq(as_expr(m))):
+                b.store("out", (Ellipsis,), smax(b.load("out", (Ellipsis,)), H.at(m)))
+
+    banded_rows(b, n, m, band, row)
+
+    if at is AlignmentType.GLOBAL:
+        # A feasible band (≥ |n − m|) keeps row n inside the loop range.
+        b.store("out", (Ellipsis,), H.at(m))
+    else:
+        # Free tails: the optimum may also end anywhere in the last row.
+        lo_f = b.let(smax(1, b.var("n") - band), "lof")
+        with b.if_(lo_f <= as_expr(m)):
+            hi_f = b.let(smin(as_expr(m), b.var("n") + band), "hif")
+            b.store(
+                "out",
+                (Ellipsis,),
+                smax(b.load("out", (Ellipsis,)), ReduceMax(H.cells(lo_f - 1, hi_f + 1))),
+            )
 
     return build_kernel(b, dialect="vector")
 

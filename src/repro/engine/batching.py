@@ -85,26 +85,40 @@ class ShapeBatcher:
     :meth:`flush` drains the partial remainders (the pipeline calls it at
     end-of-stream and under backpressure).  ``max_lanes=1`` degrades to
     pass-through batching for backends without lane support.
+
+    ``key_of`` optionally refines the bucket key with a per-request value
+    (e.g. the effective verify band): requests then only share a batch when
+    both the shape and ``key_of(request)`` agree, which is what keeps
+    same-band lanes uniform for band-specialized kernels.
     """
 
-    def __init__(self, max_lanes: int = 64):
+    def __init__(self, max_lanes: int = 64, key_of=None):
         self.max_lanes = check_positive(max_lanes, "max_lanes")
+        self.key_of = key_of
         self._groups: dict = {}
         self._pending = 0
 
+    def _key(self, request: Request, shape: tuple[int, int]):
+        return shape if self.key_of is None else (shape, self.key_of(request))
+
     def add(self, request: Request):
         shape = (int(request.query.size), int(request.subject.size))
-        group = self._groups.setdefault(shape, [])
+        key = self._key(request, shape)
+        group = self._groups.setdefault(key, [])
         group.append(request)
         self._pending += 1
         if len(group) >= self.max_lanes:
-            del self._groups[shape]
+            del self._groups[key]
             self._pending -= len(group)
             return (Batch(shape=shape, requests=group),)
         return ()
 
     def flush(self):
-        out = [Batch(shape=shape, requests=group) for shape, group in self._groups.items()]
+        out = []
+        for group in self._groups.values():
+            first = group[0]
+            shape = (int(first.query.size), int(first.subject.size))
+            out.append(Batch(shape=shape, requests=group))
         self._groups.clear()
         self._pending = 0
         return out

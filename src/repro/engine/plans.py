@@ -84,6 +84,35 @@ class ExecutionPlan:
 
         return banded_score(q, s, self.scheme, band, widen=widen)
 
+    def score_banded_block(
+        self, qs: np.ndarray, ss: np.ndarray, band: int, widen: bool = False
+    ) -> np.ndarray:
+        """Band-constrained scores of a stacked same-shape, same-band block.
+
+        Lane-capable backends sweep the whole stack with the compiled
+        (scheme, band)-specialized kernel; others fall back to the shared
+        scalar sweep per pair.  Bit-identical to :meth:`score_banded` on
+        each lane either way.
+        """
+        if not self.caps.banded:
+            from repro.util.checks import ValidationError
+
+            raise ValidationError(
+                f"backend {self.backend!r} does not support banded scoring"
+            )
+        if self.lane_batching:
+            from repro.core.banded import banded_score_lanes
+
+            return banded_score_lanes(
+                qs, ss, self.scheme, band, widen=widen, dtype=self.dtype
+            )
+        from repro.core.banded import banded_score
+
+        return np.array(
+            [banded_score(q, s, self.scheme, band, widen=widen) for q, s in zip(qs, ss)],
+            dtype=np.int64,
+        )
+
     def align_one(self, q: np.ndarray, s: np.ndarray):
         return self._worker().align(q, s)
 

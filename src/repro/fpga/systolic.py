@@ -79,6 +79,7 @@ class SystolicAligner:
             name="fpga",
             kind="fpga",
             simulated=True,  # exact scores, cycle-accurate PE-array model
+            banded=True,  # served by the shared scalar banded sweep
         )
 
     def score(self, query, subject) -> int:

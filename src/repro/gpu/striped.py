@@ -244,6 +244,7 @@ class GpuAligner(WavefrontAligner):
             name="gpu",
             kind="gpu",
             simulated=True,  # exact scores, modelled device time
+            banded=True,  # served by the shared scalar banded sweep
         )
 
     def score(self, query, subject) -> int:

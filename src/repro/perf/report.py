@@ -86,7 +86,7 @@ def cache_stats_table(plan_cache=None, engine=None) -> str:
     return out
 
 
-def pipeline_stats_table(stats, title: str = "Streaming pipeline") -> str:
+def pipeline_stats_table(stats, title: str = "Streaming pipeline", verify=None) -> str:
     """Per-stage timing plus prefilter/band work-avoidance accounting.
 
     ``stats`` is a :class:`repro.engine.stages.PipelineStats`.  The first
@@ -94,6 +94,11 @@ def pipeline_stats_table(stats, title: str = "Streaming pipeline") -> str:
     the second summarises what the pipeline *did not* have to compute:
     candidates rejected before DP, cells skipped by the prefilter, cells
     skipped by banding, and the effective GCUPS over relaxed cells.
+
+    ``verify`` optionally passes the verify stage object; when it exposes
+    ``path_stats()`` (e.g. :class:`repro.search.BandedVerifyStage`), a
+    third table splits verified pairs and relaxed cells per execution
+    path — lane kernel versus per-pair fallback sweep.
     """
     stage_rows = []
     for name, st in stats.stages.items():
@@ -129,7 +134,27 @@ def pipeline_stats_table(stats, title: str = "Streaming pipeline") -> str:
         ],
         title="Work accounting",
     )
-    return out + "\n\n" + summary
+    out = out + "\n\n" + summary
+    path_stats = getattr(verify, "path_stats", None)
+    if path_stats is not None:
+        paths = path_stats()
+        total_pairs = sum(p["pairs"] for p in paths.values())
+        if total_pairs:
+            path_rows = [
+                (
+                    name,
+                    p["pairs"],
+                    p["cells"],
+                    f"{100 * p['pairs'] / total_pairs:.1f}%",
+                )
+                for name, p in paths.items()
+            ]
+            out = out + "\n\n" + format_table(
+                ("verify path", "pairs", "cells computed", "share"),
+                path_rows,
+                title="Verify paths",
+            )
+    return out
 
 
 def service_stats_table(service_or_stats, title: str = "Alignment service") -> str:

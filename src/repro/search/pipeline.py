@@ -28,6 +28,7 @@ and as the benchmark baseline.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -113,6 +114,7 @@ class SearchConfig:
     overlap: int | None = None
     band: int | None = None
     band_pad: int = 16
+    anchor: bool = True
     min_score: int | None = None
     verify: str = "banded"
     scheme: AlignmentScheme | None = None
@@ -153,40 +155,142 @@ class BandedVerifyStage:
     indel drift; cells outside it are never relaxed, and
     :meth:`cells_of` reports exactly how many were skipped versus full DP.
 
-    With ``band=None`` (the default) the band is derived *per batch* from
-    the actual DP extent: ``|m − n| + band_pad`` covers every full-query
-    placement offset inside a window of any width — including databases
-    supplied as pre-windowed chunk iterators, whose chunk width the
-    frontend never sees.  An explicit ``band`` is used as-is (auto-widened
-    to feasibility for global schemes).
+    Band derivation (``band=None``, the default) has two tiers:
+
+    * **window extent** — ``|m − n| + band_pad`` covers every full-query
+      placement offset inside a window of any width, including databases
+      supplied as pre-windowed chunk iterators whose width the frontend
+      never sees.
+    * **seed anchor** — when the prefilter recorded the request's
+      seed-diagonal envelope (``meta["diag_lo"/"diag_hi"]``) and
+      ``anchor=True``, the band is centered on the anchor instead:
+      ``max(|diag_lo|, |diag_hi|) + band_pad``, rounded up to a multiple
+      of ``band_quantum`` (so near-identical anchors share a lane bucket
+      and a compiled kernel variant), capped by the window extent.  The
+      quantized anchor still covers every seed diagonal plus drift, so it
+      only shrinks provably-dead region.
+
+    An explicit ``band`` is used as-is (auto-widened to feasibility for
+    global schemes).  Whole batches are swept by the lane-batched
+    (scheme, band)-specialized kernel when the routed plan supports lane
+    batching; stragglers and lane-less plans take the per-pair scalar
+    sweep — :meth:`path_stats` accounts pairs/cells per path.  Batches
+    must be band-uniform for the lane path to be exact, which the search
+    pipeline guarantees by keying its batcher on :meth:`band_of`; as a
+    safety net the batch band is the per-request maximum (widening only).
     """
 
-    def __init__(self, plan, band: int | None = None, band_pad: int = 16):
+    #: Anchored bands round up to a multiple of this, bounding both bucket
+    #: fragmentation and the number of compiled per-band kernel variants.
+    BAND_QUANTUM = 32
+
+    def __init__(
+        self,
+        plan,
+        band: int | None = None,
+        band_pad: int = 16,
+        *,
+        anchor: bool = True,
+        lane_verify: bool = True,
+        band_quantum: int | None = None,
+        router=None,
+        plans: dict | None = None,
+        target_lanes: int = 64,
+    ):
         self.plan = plan
         self.band = band
         self.band_pad = band_pad
+        self.anchor = anchor
+        self.lane_verify = lane_verify
+        self.band_quantum = band_quantum if band_quantum is not None else self.BAND_QUANTUM
+        self.router = router  # optional: object with backend_for(size, target)
+        self.plans = dict(plans) if plans else {}
+        self.target_lanes = target_lanes
+        self._lock = threading.Lock()
+        self._path_pairs = {"lanes": 0, "fallback": 0}
+        self._path_cells = {"lanes": 0, "fallback": 0}
 
     def band_for(self, shape: tuple[int, int]) -> int:
+        """Window-extent band for a DP shape (no anchor information)."""
         if self.band is not None:
             return self.band
         n, m = shape
         return abs(m - n) + self.band_pad
 
+    def band_of(self, request) -> int:
+        """Effective verify band for one admitted request.
+
+        Doubles as the batcher's bucket-refinement key: requests batch
+        together only when shape *and* effective band agree, keeping
+        same-band lanes uniform for the specialized kernel.
+        """
+        extent = self.band_for((int(request.query.size), int(request.subject.size)))
+        if self.band is not None or not self.anchor:
+            return extent
+        meta = request.meta or {}
+        dlo, dhi = meta.get("diag_lo"), meta.get("diag_hi")
+        if dlo is None or dhi is None or dlo > dhi:
+            return extent
+        anchored = max(abs(int(dlo)), abs(int(dhi))) + self.band_pad
+        quantum = self.band_quantum
+        anchored = -(-anchored // quantum) * quantum  # round up: only widens
+        return min(extent, anchored)
+
+    def _batch_band(self, batch: Batch) -> int:
+        return max(self.band_of(r) for r in batch.requests)
+
+    def _plan_for(self, size: int):
+        if self.router is None:
+            return self.plan
+        name = self.router.backend_for(size, self.target_lanes)
+        if name is None:
+            return self.plan
+        return self.plans.get(name, self.plan)
+
+    def _effective(self, shape: tuple[int, int], band: int) -> int:
+        n, m = shape
+        if self.plan.scheme.alignment_type is AlignmentType.SEMIGLOBAL:
+            return band
+        return max(band, abs(n - m))  # widen=True, as execute does
+
     def execute(self, batch: Batch) -> np.ndarray:
-        band = self.band_for(batch.shape)
-        return np.array(
-            [
-                self.plan.score_banded(r.query, r.subject, band, widen=True)
-                for r in batch.requests
-            ],
-            dtype=np.int64,
-        )
+        band = self._batch_band(batch)
+        plan = self._plan_for(len(batch))
+        lanes = self.lane_verify and len(batch) > 1 and plan.lane_batching
+        if lanes:
+            qs, ss = batch.stacked()
+            scores = np.asarray(
+                plan.score_banded_block(qs, ss, band, widen=True), dtype=np.int64
+            )
+        else:
+            scores = np.array(
+                [
+                    plan.score_banded(r.query, r.subject, band, widen=True)
+                    for r in batch.requests
+                ],
+                dtype=np.int64,
+            )
+        path = "lanes" if lanes else "fallback"
+        n, m = batch.shape
+        cells = band_cells(n, m, self._effective(batch.shape, band)) * len(batch)
+        with self._lock:
+            self._path_pairs[path] += len(batch)
+            self._path_cells[path] += cells
+        return scores
 
     def cells_of(self, batch: Batch) -> tuple[int, int]:
         n, m = batch.shape
-        band = max(self.band_for(batch.shape), abs(n - m))  # widen, as execute does
+        band = self._effective(batch.shape, self._batch_band(batch))
         computed = band_cells(n, m, band) * len(batch)
         return computed, batch.cells - computed
+
+    def path_stats(self) -> dict:
+        """Pairs/cells verified per execution path (lane kernel vs scalar)."""
+        with self._lock:
+            return {
+                path: {"pairs": self._path_pairs[path], "cells": self._path_cells[path]}
+                for path in ("lanes", "fallback")
+            }
 
 
 class SearchRun:
@@ -251,7 +355,9 @@ class SearchRun:
         """Per-stage timing + rejection/cells table (perf.report format)."""
         from repro.perf.report import pipeline_stats_table
 
-        return pipeline_stats_table(self.stats, title="Search pipeline")
+        return pipeline_stats_table(
+            self.stats, title="Search pipeline", verify=self.pipeline.stage
+        )
 
 
 def classify_database(database, *, materialize: bool = False):
@@ -308,10 +414,13 @@ def search(
     overlap: int | None = None,
     band: int | None = None,
     band_pad: int = 16,
+    anchor: bool = True,
     min_score: int | None = None,
     verify: str = "banded",
     engine: ExecutionEngine | None = None,
     max_in_flight: int = 2048,
+    lane_verify: bool = True,
+    route=None,
 ) -> SearchRun:
     """Stream top-K placements of each query against a reference database.
 
@@ -332,12 +441,15 @@ def search(
         Reference windowing; defaults to ``2·max(len(query))`` windows
         overlapping by ``max(len(query)) + band_pad`` so no placement is
         lost at a boundary.  Ignored for pre-windowed chunk databases.
-    band / band_pad:
-        Verification band.  ``band=None`` (default) derives it per batch
-        from the actual (query, window) extent — ``|m − n| + band_pad`` —
-        covering every full-query placement offset plus indel drift, even
-        for pre-windowed chunks of any width; an explicit ``band`` is
-        used as-is.
+    band / band_pad / anchor:
+        Verification band.  ``band=None`` (default) derives it per
+        request: the window extent ``|m − n| + band_pad`` covers every
+        full-query placement offset plus indel drift, even for
+        pre-windowed chunks of any width; with ``anchor=True`` (default)
+        the band is instead centered on the request's seed-diagonal
+        envelope when it is narrower (quantized so same-band lanes share
+        buckets).  An explicit ``band`` is used as-is and disables
+        anchoring.
     verify:
         ``"banded"`` (default) or ``"full"`` (exact full-DP verification).
     engine:
@@ -345,6 +457,17 @@ def search(
         plan cache); a private one is created otherwise.
     max_in_flight:
         Backpressure budget: admitted-but-unverified candidates.
+    lane_verify:
+        Sweep whole same-(shape, band) buckets with the lane-batched
+        banded kernel (default); ``False`` forces the per-pair scalar
+        sweep everywhere (the benchmark baseline).
+    route:
+        Optional per-bucket backend routing policy — an object with
+        ``backend_for(batch_size, target_batch)`` plus
+        ``full_lane_backend``/``straggler_backend`` names (e.g. a
+        :class:`repro.serve.service.ServiceConfig` with
+        ``route_backends=True``); full verify buckets then run on the
+        lane backend and stragglers on the fallback, bit-identically.
     """
     scheme = scheme if scheme is not None else default_search_scheme()
     if scheme.alignment_type is AlignmentType.LOCAL:
@@ -362,14 +485,31 @@ def search(
         raise ValidationError("engine scheme does not match the search scheme")
     plan = engine.plan_for("rowscan")
     if verify == "banded":
-        stage = BandedVerifyStage(plan, band, band_pad=band_pad)
+        plans = None
+        if route is not None:
+            names = {route.full_lane_backend, route.straggler_backend}
+            plans = {name: engine.plan_for(name) for name in names}
+        stage = BandedVerifyStage(
+            plan,
+            band,
+            band_pad=band_pad,
+            anchor=anchor,
+            lane_verify=lane_verify,
+            router=route,
+            plans=plans,
+            target_lanes=engine.executor.lanes,
+        )
+        # Key buckets on (shape, effective band): same-band lanes stay
+        # uniform for the band-specialized kernel.
+        batcher = ShapeBatcher(engine.executor.lanes, key_of=stage.band_of)
     else:
         stage = PlanExecutorStage(plan)  # exact full-DP verification
+        batcher = ShapeBatcher(engine.executor.lanes)
     reducer = TopKReducer(len(index), k=k, min_score=min_score)
     pipe = engine.pipeline(
         _chunk_source(database, window, overlap),
         prefilter=SeedPrefilter(index, min_seeds=min_seeds),
-        batcher=ShapeBatcher(engine.executor.lanes),
+        batcher=batcher,
         stage=stage,
         reducer=reducer,
         max_in_flight=max_in_flight,

@@ -58,11 +58,25 @@ class QueryIndex:
                 )
         self.lengths = np.array([q.size for q in self.queries], dtype=np.int64)
         owners: dict = {}
+        occurrences: dict = {}  # kmer → [(qid, query position), ...] for ALL hits
         for qid, q in enumerate(self.queries):
-            for km in np.unique(kmer_codes(q, k)):
+            codes = kmer_codes(q, k)
+            for pos, km in enumerate(codes):
+                occurrences.setdefault(int(km), []).append((qid, pos))
+            for km in np.unique(codes):
                 owners.setdefault(int(km), []).append(qid)
         self.kmers = np.array(sorted(owners), dtype=np.int64)
         self.owners = [np.array(owners[int(km)], dtype=np.intp) for km in self.kmers]
+        # Per-kmer occurrence arrays, aligned with ``kmers``: the seed scan
+        # turns (chunk position − query position) into alignment diagonals.
+        self.occ_qids = [
+            np.array([o[0] for o in occurrences[int(km)]], dtype=np.intp)
+            for km in self.kmers
+        ]
+        self.occ_qpos = [
+            np.array([o[1] for o in occurrences[int(km)]], dtype=np.int64)
+            for km in self.kmers
+        ]
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -82,6 +96,42 @@ class QueryIndex:
             counts[self.owners[i]] += 1
         return counts
 
+    def seed_scan(self, sequence: np.ndarray):
+        """Seed counts plus the per-query seed-diagonal envelope.
+
+        Returns ``(counts, diag_lo, diag_hi)``: ``counts`` is exactly
+        :meth:`seed_counts` (same admission decisions), and for each query
+        that shares at least one k-mer with ``sequence``,
+        ``[diag_lo[q], diag_hi[q]]`` spans the diagonals
+        ``d = chunk position − query position`` of every shared-k-mer
+        occurrence — the anchor the verify stage centers its band on.
+        Queries with no seeds keep ``diag_lo > diag_hi`` sentinels.
+        """
+        nq = len(self.queries)
+        counts = np.zeros(nq, dtype=np.int64)
+        big = np.int64(2**62)
+        diag_lo = np.full(nq, big, dtype=np.int64)
+        diag_hi = np.full(nq, -big, dtype=np.int64)
+        if self.kmers.size == 0:
+            return counts, diag_lo, diag_hi
+        codes = kmer_codes(sequence, self.k)
+        if codes.size == 0:
+            return counts, diag_lo, diag_hi
+        idx = np.searchsorted(self.kmers, codes)
+        idx_c = np.minimum(idx, self.kmers.size - 1)
+        match = self.kmers[idx_c] == codes
+        # Distinct-kmer counts — identical admission to seed_counts.
+        for i in np.unique(idx_c[match]):
+            counts[self.owners[i]] += 1
+        # Diagonal envelope over every (occurrence, chunk position) pair.
+        for pos in np.flatnonzero(match):
+            i = idx_c[pos]
+            qids = self.occ_qids[i]
+            d = pos - self.occ_qpos[i]
+            np.minimum.at(diag_lo, qids, d)
+            np.maximum.at(diag_hi, qids, d)
+        return counts, diag_lo, diag_hi
+
 
 class SeedPrefilter:
     """Prefilter stage: Chunk → candidate Requests for seed-sharing queries.
@@ -99,7 +149,7 @@ class SeedPrefilter:
         self.rejected_cells = 0
 
     def expand(self, chunk: Chunk) -> list[Request]:
-        counts = self.index.seed_counts(chunk.sequence)
+        counts, diag_lo, diag_hi = self.index.seed_scan(chunk.sequence)
         passing = np.flatnonzero(counts >= self.min_seeds)
         nq = len(self.index)
         self.candidates += nq
@@ -113,7 +163,15 @@ class SeedPrefilter:
                 key=(int(qid), chunk.id),
                 query=self.index.queries[qid],
                 subject=chunk.sequence,
-                meta={"query_id": int(qid), "chunk": chunk, "seeds": int(counts[qid])},
+                meta={
+                    "query_id": int(qid),
+                    "chunk": chunk,
+                    "seeds": int(counts[qid]),
+                    # Seed-diagonal envelope: an admitted query always has
+                    # ≥ min_seeds ≥ 1 seeds, so the envelope is real.
+                    "diag_lo": int(diag_lo[qid]),
+                    "diag_hi": int(diag_hi[qid]),
+                },
             )
             for qid in passing
         ]

@@ -69,6 +69,12 @@ class ServiceConfig:
     target batch.  Scores are identical either way (every backend is
     parity-tested against the same reference DP); only the cost model
     changes.
+
+    The same policy is forwarded to ``submit_search`` pipelines: banded
+    verify buckets that fill their lanes run the lane-batched banded
+    kernel on ``full_lane_backend`` while straggler buckets take the
+    per-pair sweep on ``straggler_backend`` (see
+    :class:`repro.search.BandedVerifyStage`), again bit-identically.
     """
 
     route_backends: bool = False
@@ -483,6 +489,10 @@ class AlignmentService:
 
         kwargs = dict(req.meta)
         scheme = kwargs.setdefault("scheme", default_search_scheme())
+        if self.config.route_backends:
+            # Route banded verify buckets like score buckets: full lanes on
+            # the lane backend, stragglers on the per-pair sweep.
+            kwargs.setdefault("route", self.config)
         engine = self._engine_for_search(scheme)
         try:
             hits = await self._loop.run_in_executor(

@@ -18,7 +18,7 @@ the paper composes loop nests without touching the computation they drive.
 from __future__ import annotations
 
 from repro.stage.builder import KernelBuilder
-from repro.stage.ir import Const, as_expr, is_static, static_value
+from repro.stage.ir import Const, as_expr, is_static, static_value, smax, smin
 from repro.util.checks import StagingError
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "parallel",
     "combine",
     "tile",
+    "banded_rows",
 ]
 
 
@@ -73,6 +74,26 @@ def parallel(num_threads: int):
 
     loop.num_threads = num_threads
     return loop
+
+
+def banded_rows(b: KernelBuilder, n, m, band: int, body):
+    """Band-windowed row loop: the iteration strategy of banded sweeps.
+
+    Walks rows ``i ∈ [1, min(n, m + band)]`` — exactly the rows whose band
+    window intersects the matrix — and binds the in-band column range
+    ``lo = max(1, i − band)``, ``hi = min(m, i + band)`` before invoking
+    ``body(i, lo, hi)``.  ``band`` must be a trace-time constant: the
+    residual kernel is specialized on it (it appears folded into the loop
+    bound and window clamps), which is what lets the plan cache key on
+    (scheme, band).
+    """
+    if not isinstance(band, int) or band < 0:
+        raise StagingError(f"band must be a static int >= 0, got {band!r}")
+    stop = smin(as_expr(n), as_expr(m) + band) + 1
+    with b.loop(b.fresh("i"), 1, stop) as i:
+        lo = b.let(smax(1, i - band), "lo")
+        hi = b.let(smin(as_expr(m), i + band), "hi")
+        body(i, lo, hi)
 
 
 def combine(outer, inner):

@@ -470,3 +470,36 @@ class TestBackendRouting:
         assert set(plain_backends) == {"rowscan"}
         # Full lanes went to simd; any straggler flush stayed on rowscan.
         assert routed_backends.get("simd", 0) >= 1
+
+    def test_routed_search_hits_bit_identical(self):
+        """Verify-bucket routing changes the cost model, never the hits."""
+        from repro.serve import ServiceConfig
+
+        rng = make_rng(23)
+        ref = random_genome(20_000, seed=rng)
+        model = MutationModel(substitution=0.03, insertion=0.0, deletion=0.0)
+        positions = [1500, 6200, 11800, 17400]
+        queries = [mutate(ref[p : p + 100], model, seed=rng) for p in positions]
+
+        def run(config):
+            async def main():
+                async with AlignmentService(
+                    backend="rowscan",
+                    database=ref,
+                    search_kwargs={"k": 3, "min_score": 160},
+                    config=config,
+                ) as svc:
+                    return await asyncio.gather(
+                        *(svc.submit_search(q) for q in queries)
+                    )
+
+            return asyncio.run(main())
+
+        plain = run(None)
+        routed = run(ServiceConfig(route_backends=True))
+        flat = lambda res: [
+            [(h.record, h.start, h.score) for h in hits] for hits in res
+        ]
+        assert flat(routed) == flat(plain)
+        for qid, p in enumerate(positions):
+            assert routed[qid] and routed[qid][0].start <= p < routed[qid][0].end
