@@ -18,6 +18,7 @@ __all__ = [
     "pipeline_stats_table",
     "service_stats_table",
     "shard_stats_table",
+    "pool_stats_table",
     "router_stats_table",
     "CodeSharing",
 ]
@@ -250,13 +251,47 @@ def shard_stats_table(run_stats, title: str = "Sharded search") -> str:
             ("shard search s (mean / max)",
              f"{sum(searches) / len(searches):.3f} / {max(searches):.3f}"
              if searches else "-"),
+            ("served by", "warm resident workers" if run_stats.warm
+             else "cold workers (spawned this run)"),
             ("process spawn (ms)", f"{run_stats.spawn_s * 1e3:.1f}"),
+            ("reference attach (ms)", f"{run_stats.attach_s * 1e3:.2f}"),
             ("merge (ms)", f"{run_stats.merge_s * 1e3:.1f}"),
             ("end-to-end (s)", f"{run_stats.total_s:.3f}"),
         ],
         title="Run accounting",
     )
     return out + "\n\n" + summary
+
+
+def pool_stats_table(pool_or_stats, title: str = "Shard worker pool") -> str:
+    """Residency/reuse accounting for a persistent shard worker pool.
+
+    ``pool_or_stats`` is a :class:`repro.shard.pool.ShardWorkerPool` or
+    its :class:`repro.shard.stats.PoolStats`.  The headline numbers are
+    the ones the pool exists for: how many searches were served warm (no
+    spawn, no payload transfer) and how small the one-time shared-memory
+    publication + per-worker attach costs were relative to the spawn they
+    replace.
+    """
+    stats = getattr(pool_or_stats, "stats", pool_or_stats)
+    snap = stats.snapshot()
+    payload = snap["payload_bytes"]
+    rows = [
+        ("shards", snap["num_shards"]),
+        ("searches (warm / cold)",
+         f"{snap['searches']} ({snap['warm_searches']} / {snap['cold_searches']})"),
+        ("reference swaps", snap["swaps"]),
+        ("worker spawns (respawns)", f"{snap['spawns']} ({snap['respawns']})"),
+        ("spawn time total (s)", f"{snap['spawn_s']:.3f}"),
+        ("swap time total (ms)", f"{snap['swap_s'] * 1e3:.1f}"),
+        ("payload transport", snap["transport"]),
+        ("published payload (bytes)", payload),
+        ("worker attach max (ms)", f"{snap['attach_max_s'] * 1e3:.2f}"),
+    ]
+    out = format_table(("metric", "value"), rows, title=title)
+    if snap["last_run"] is not None and stats.last_run is not None:
+        out += "\n\n" + shard_stats_table(stats.last_run, title="Last run")
+    return out
 
 
 def router_stats_table(router, title: str = "Shard router") -> str:
@@ -303,7 +338,11 @@ def router_stats_table(router, title: str = "Shard router") -> str:
         rows,
         title="Per-shard services",
     )
-    return agg + "\n\n" + per_shard
+    out = agg + "\n\n" + per_shard
+    pool = getattr(router, "pool", None)
+    if pool is not None:
+        out += "\n\n" + pool_stats_table(pool, title="Resident search pool")
+    return out
 
 
 #: Subsystem classification: which top-level repro subpackages are

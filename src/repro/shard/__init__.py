@@ -5,20 +5,35 @@ work across processes along the natural partition — the reference chunk
 stream.  Chunk ownership is a pure function of the global chunk ordinal
 (:func:`repro.workloads.chunks.shard_of`), every per-shard top-K heap is
 bounded and mergeable under one deterministic total order
-(:mod:`repro.search.topk`), so both regimes return results bit-identical
+(:mod:`repro.search.topk`), so all regimes return results bit-identical
 to their single-process counterparts:
 
-* **offline** — :class:`ShardedSearch` spawns N worker processes from a
-  picklable :class:`ShardPlan` (each rebuilds an engine + search pipeline,
-  streams its bounded top-K back over a result queue) and merges;
+* **resident** — :class:`ShardWorkerPool` spawns N workers *once*,
+  publishes the encoded reference *once* via shared memory
+  (:mod:`repro.shard.shm` — workers attach zero-copy), and serves many
+  query sets over a command/result protocol, with online reference swap
+  and respawn-on-death;
+* **offline** — :class:`ShardedSearch` fronts the pool: one-shot by
+  default (cold pool per call — the historical spawn-per-search
+  semantics), ``persistent=True`` to keep the pool warm across calls;
 * **online** — :class:`ShardRouter` fronts N
   :class:`~repro.serve.AlignmentService` instances, routing score/align
   requests to the least-loaded shard and fanning searches out to all of
   them, behind the same ``submit_*`` surface
-  :class:`~repro.serve.SyncAlignmentClient` already speaks.
+  :class:`~repro.serve.SyncAlignmentClient` already speaks — or, given
+  ``pool=``, fans searches into a resident :class:`ShardWorkerPool`.
 """
 
-from repro.shard.plan import ChunkPayload, RecordPayload, ShardPlan, build_payloads
+from repro.shard.plan import (
+    ChunkPayload,
+    RecordPayload,
+    ShardPlan,
+    SharedRecordPayload,
+    build_payloads,
+    build_pool_payloads,
+    fingerprint_database,
+)
+from repro.shard.pool import ShardWorkerPool
 from repro.shard.router import RouterStats, ShardRouter
 from repro.shard.search import (
     ShardedSearch,
@@ -26,22 +41,31 @@ from repro.shard.search import (
     ShardWorkerError,
     sharded_search_topk,
 )
-from repro.shard.stats import ShardRunStats, ShardWorkerStats
-from repro.shard.worker import run_shard, shard_engine_workers
+from repro.shard.shm import SharedReferenceMeta, SharedSegment, publish_records
+from repro.shard.stats import PoolStats, ShardRunStats, ShardWorkerStats
+from repro.shard.worker import run_pool_worker, shard_engine_workers
 
 __all__ = [
     "ChunkPayload",
+    "PoolStats",
     "RecordPayload",
     "RouterStats",
     "ShardError",
     "ShardPlan",
     "ShardRouter",
     "ShardRunStats",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "ShardWorkerStats",
     "ShardedSearch",
-    "ShardWorkerError",
+    "SharedRecordPayload",
+    "SharedReferenceMeta",
+    "SharedSegment",
     "build_payloads",
-    "run_shard",
+    "build_pool_payloads",
+    "fingerprint_database",
+    "publish_records",
+    "run_pool_worker",
     "shard_engine_workers",
     "sharded_search_topk",
 ]

@@ -15,11 +15,14 @@ assignments: every worker windows the same reference with the plan's
 resolved ``window``/``overlap`` and keeps the ordinals it owns, which is
 what makes the merged result bit-identical to a single-process scan.
 
-:class:`RecordPayload` / :class:`ChunkPayload` are the two shapes a
-database crosses the boundary in: whole encoded records (workers re-window
-and filter — the normal case, one reference copy per worker) or an
-explicit pre-partitioned chunk list (databases supplied as chunk iterators
-cannot be regenerated remotely).
+:class:`RecordPayload` / :class:`ChunkPayload` /
+:class:`SharedRecordPayload` are the shapes a database crosses the
+boundary in: whole encoded records (workers re-window and filter — one
+pickled reference copy per worker, the one-shot path), an explicit
+pre-partitioned chunk list (databases supplied as chunk iterators cannot
+be regenerated remotely), or — the persistent-pool path — a
+shared-memory segment published once by :func:`build_pool_payloads`,
+where only metadata is pickled and workers attach zero-copy.
 """
 
 from __future__ import annotations
@@ -28,12 +31,32 @@ from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import EngineConfig
 from repro.search.pipeline import SearchConfig, classify_database
+from repro.shard.shm import (
+    SharedReferenceMeta,
+    attach_segment,
+    fingerprint_records,
+    publish_records,
+)
 from repro.util.checks import ValidationError, check_positive
 from repro.util.encoding import encode
-from repro.workloads.chunks import chunk_records, partition_chunks, shard_chunks, shard_of
+from repro.workloads.chunks import (
+    chunk_encoded_records,
+    chunk_records,
+    partition_chunks,
+    shard_chunks,
+    shard_of,
+)
 from repro.workloads.fasta import FastaRecord
 
-__all__ = ["ShardPlan", "RecordPayload", "ChunkPayload", "build_payloads"]
+__all__ = [
+    "ShardPlan",
+    "RecordPayload",
+    "ChunkPayload",
+    "SharedRecordPayload",
+    "build_payloads",
+    "build_pool_payloads",
+    "fingerprint_database",
+]
 
 
 @dataclass(frozen=True)
@@ -82,10 +105,7 @@ class RecordPayload:
     records: tuple  # ((name, np.ndarray), ...)
 
     def chunk_iter(self, plan: ShardPlan, shard_id: int):
-        if plan.search.window is None or plan.search.overlap is None:
-            raise ValidationError(
-                "plan windowing is unresolved; call plan.resolved_for(qmax) first"
-            )
+        _check_windowing(plan)
         recs = (FastaRecord(name=name, sequence=seq) for name, seq in self.records)
         chunks = chunk_records(recs, plan.search.window, plan.search.overlap)
         return shard_chunks(chunks, plan.num_shards, shard_id)
@@ -99,6 +119,61 @@ class ChunkPayload:
 
     def chunk_iter(self, plan: ShardPlan, shard_id: int):
         return iter(self.chunks)
+
+
+def _check_windowing(plan: ShardPlan) -> None:
+    if plan.search.window is None or plan.search.overlap is None:
+        raise ValidationError(
+            "plan windowing is unresolved; call plan.resolved_for(qmax) first"
+        )
+
+
+class _AttachedRecordPayload:
+    """Worker-resident view over a published reference segment.
+
+    Built by :meth:`SharedRecordPayload.attach` inside the worker; holds
+    the attachment open across many searches and windows the zero-copy
+    record views per call (the windowing can differ per query set, the
+    bytes never move).
+    """
+
+    def __init__(self, meta: SharedReferenceMeta):
+        self._ref = attach_segment(meta)
+        self.meta = meta
+
+    def chunk_iter(self, plan: ShardPlan, shard_id: int):
+        _check_windowing(plan)
+        chunks = chunk_encoded_records(
+            self._ref.records(), plan.search.window, plan.search.overlap
+        )
+        return shard_chunks(chunks, plan.num_shards, shard_id)
+
+    def close(self) -> None:
+        self._ref.close()
+
+
+@dataclass(frozen=True)
+class SharedRecordPayload:
+    """Database as a published shared-memory segment: attach, don't copy.
+
+    The picklable face of :mod:`repro.shard.shm` — only the segment
+    *metadata* crosses the process boundary, so shipping it to N workers
+    costs O(1) in N where :class:`RecordPayload` cost N pickled copies of
+    the reference.  Workers call :meth:`attach` once and keep the
+    resident :class:`_AttachedRecordPayload` across searches; the parent
+    (the pool) owns the segment's lifetime.
+    """
+
+    meta: SharedReferenceMeta
+
+    def attach(self) -> _AttachedRecordPayload:
+        return _AttachedRecordPayload(self.meta)
+
+    def chunk_iter(self, plan: ShardPlan, shard_id: int):
+        # One-shot convenience (tests, debugging): attach for the scan's
+        # duration.  Pool workers use attach() and hold it open instead.
+        attached = self.attach()
+        return attached.chunk_iter(plan, shard_id)
 
 
 def build_payloads(database, plan: ShardPlan) -> list:
@@ -121,3 +196,52 @@ def build_payloads(database, plan: ShardPlan) -> list:
         records = (("ref", encode(value)),)
     payload = RecordPayload(records=records)
     return [payload] * plan.num_shards
+
+
+def fingerprint_database(database) -> str:
+    """Content fingerprint of any database :func:`search` accepts.
+
+    Matches the fingerprint :func:`build_pool_payloads` records for the
+    same database, so a persistent owner can cheaply test "is the resident
+    reference already this database?" without re-publishing.  Note this
+    materializes iterator databases — pass lists when you intend to
+    fingerprint more than once.
+    """
+    kind, value = classify_database(database, materialize=True)
+    if kind == "chunks":
+        records = tuple((f"{c.record}:{c.start}", c.sequence) for c in value)
+    elif kind == "records":
+        records = tuple((rec.name, encode(rec.sequence)) for rec in value)
+    else:
+        records = (("ref", encode(value)),)
+    return fingerprint_records(records)
+
+
+def build_pool_payloads(database, plan: ShardPlan):
+    """Normalize a database for the persistent pool: publish once, share.
+
+    Returns ``(payloads, segment, fingerprint)``: one payload per shard,
+    the owning :class:`~repro.shard.shm.SharedSegment` (or ``None`` when
+    the database is pre-windowed chunks, which ship as explicit pickled
+    lists exactly like the one-shot path), and a content fingerprint the
+    pool uses to decide reuse vs. :meth:`~repro.shard.pool.ShardWorkerPool.
+    swap_reference`.
+
+    Record and raw-sequence databases are encoded in the parent and
+    published to one shared-memory segment; every worker receives only the
+    metadata and attaches zero-copy — O(1) payload transfer in the worker
+    count, versus one pickled reference copy per worker before.
+    """
+    kind, value = classify_database(database, materialize=True)
+    if kind == "chunks":
+        records = tuple((f"{c.record}:{c.start}", c.sequence) for c in value)
+        parts = partition_chunks(iter(value), plan.num_shards)
+        payloads = [ChunkPayload(chunks=tuple(part)) for part in parts]
+        return payloads, None, fingerprint_records(records)
+    if kind == "records":
+        records = tuple((rec.name, encode(rec.sequence)) for rec in value)
+    else:
+        records = (("ref", encode(value)),)
+    segment = publish_records(records)
+    payload = SharedRecordPayload(meta=segment.meta)
+    return [payload] * plan.num_shards, segment, segment.meta.fingerprint

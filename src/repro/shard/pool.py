@@ -1,0 +1,561 @@
+"""Persistent shard worker pool: spawn once, search many, swap online.
+
+The spawn-per-search shard path paid ~seconds of process spawn plus one
+pickled reference copy *per worker, per search* — enough to make 4-shard
+search a net slowdown on small machines.  :class:`ShardWorkerPool`
+amortizes all of it: workers are spawned **once**, the encoded reference
+is published **once** to a shared-memory segment
+(:mod:`repro.shard.shm` — workers attach zero-copy, so payload transfer
+is O(1) in the worker count), and each worker then services many query
+sets over a command/result queue protocol (``search`` / ``swap`` /
+``ping`` / ``shutdown`` — see :mod:`repro.shard.worker`).
+
+Guarantees carried over from the one-shot path, per command round:
+
+* results are **bit-identical** to a single-process ``search_topk()``
+  (same chunk-ordinal ownership, same deterministic top-K merge);
+* a worker that raises surfaces as :class:`ShardWorkerError` with its
+  traceback; one that dies silently is caught by exit-code polling; a
+  wedged worker is bounded by ``timeout`` — never a hang.
+
+New, pool-only semantics:
+
+* **Warm reuse** — consecutive :meth:`search_topk` calls reuse resident
+  workers and the resident reference; ``stats`` accounts cold vs. warm.
+* **Reference swap** — :meth:`swap_reference` publishes the new database
+  as a fresh segment, workers flip atomically between commands, and the
+  old segment is unlinked only after every worker acknowledged, so no
+  query ever sees a half-swapped reference.
+* **Self-healing** — a worker found dead between calls (or a run that
+  failed) is respawned on the next call instead of wedging it; the
+  respawn is visible in ``stats.respawns``.
+* **Host-clamped concurrency** — at most :attr:`max_concurrent`
+  (``min(num_shards, cpu_count)`` by default) shard searches are
+  dispatched at once, so oversharded pools degrade to staggered execution
+  instead of oversubscribing the host (see
+  :func:`~repro.shard.worker.shard_engine_workers` for the thread-budget
+  half of the policy).
+
+Thread safety: public methods serialize on an internal lock, so a pool
+can be shared by a serving front (e.g. ``ShardRouter(pool=...)``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+
+from repro.search.pipeline import SearchConfig
+from repro.search.topk import Hit, TopKReducer
+from repro.shard.plan import ShardPlan, build_pool_payloads
+from repro.shard.stats import PoolStats, ShardRunStats
+from repro.shard.worker import run_pool_worker
+from repro.util.checks import ReproError, check_positive
+from repro.util.encoding import encode
+
+__all__ = ["ShardWorkerPool", "ShardError", "ShardWorkerError"]
+
+#: How often gather loops wake to check worker liveness (seconds).
+_POLL_S = 0.2
+
+#: How long a dead-but-unreported worker's message may trail its exit.
+#: A worker that put its reply just before exiting can still have the
+#: queue feeder's bytes in flight; past this window a silent death — even
+#: one with exit code 0 (``os._exit(0)``, a feeder that failed to pickle)
+#: — is an error, upholding the never-a-hang guarantee.
+_DEAD_GRACE_S = 5.0
+
+#: How long close() waits for a worker to honour shutdown before
+#: terminating it.
+_SHUTDOWN_JOIN_S = 5.0
+
+
+class ShardError(ReproError):
+    """Base class for sharded-search failures."""
+
+
+class ShardWorkerError(ShardError):
+    """A worker process failed (reported an exception or died silently)."""
+
+
+class ShardWorkerPool:
+    """A resident set of shard worker processes over one shared reference.
+
+    Parameters
+    ----------
+    database:
+        The reference to publish (anything :func:`repro.search.search`
+        accepts).  Record/sequence databases are encoded once and
+        published via shared memory; pre-windowed chunk databases are
+        partitioned and pickled to workers at spawn (they cannot be
+        re-windowed remotely).
+    num_shards / plan / search_kwargs:
+        Same contract as :class:`~repro.shard.search.ShardedSearch`:
+        either a full :class:`~repro.shard.plan.ShardPlan` or a shard
+        count plus :func:`~repro.search.search` keyword arguments.
+    timeout:
+        Per-command-round bound in seconds on waiting for workers
+        (None = no bound; crashes are detected either way).
+    max_concurrent:
+        Dispatch clamp: at most this many shard searches in flight at
+        once.  Defaults to ``min(num_shards, os.cpu_count())`` so a pool
+        sharded wider than the host degrades to staggered execution
+        rather than oversubscription.
+    payloads:
+        Explicit per-shard payload objects (test hook / advanced use);
+        bypasses database publication entirely.
+
+    The pool starts lazily on first use; :meth:`start` forces it.  Use as
+    a context manager (or call :meth:`close`) to release the workers and
+    unlink the shared segment deterministically.
+    """
+
+    def __init__(
+        self,
+        database=None,
+        num_shards: int | None = None,
+        *,
+        plan: ShardPlan | None = None,
+        timeout: float | None = None,
+        max_concurrent: int | None = None,
+        payloads: list | None = None,
+        **search_kwargs,
+    ):
+        if plan is None:
+            plan = ShardPlan(
+                num_shards=num_shards if num_shards is not None else 4,
+                search=SearchConfig(**search_kwargs),
+            )
+        else:
+            if search_kwargs:
+                raise ReproError("pass search parameters via plan= or kwargs, not both")
+            if num_shards is not None and num_shards != plan.num_shards:
+                raise ReproError(
+                    f"num_shards={num_shards} conflicts with "
+                    f"plan.num_shards={plan.num_shards}; drop one"
+                )
+        if database is not None and payloads is not None:
+            raise ReproError("pass database= or payloads=, not both")
+        if payloads is not None and len(payloads) != plan.num_shards:
+            raise ReproError(
+                f"payloads has {len(payloads)} entries for "
+                f"{plan.num_shards} shards"
+            )
+        self.plan = plan
+        self.timeout = timeout
+        cores = os.cpu_count() or 1
+        self.max_concurrent = (
+            check_positive(max_concurrent, "max_concurrent")
+            if max_concurrent is not None
+            else min(plan.num_shards, cores)
+        )
+        self.stats = PoolStats(num_shards=plan.num_shards)
+        self._database = database
+        self._payloads = payloads  # per-shard, set at start()
+        self._segment = None  # owning SharedSegment (None for chunk payloads)
+        self._fingerprint: str | None = None
+        self._ctx = multiprocessing.get_context(plan.start_method)
+        self._result_q = None
+        self._cmd_qs: list = []
+        self._procs: list = []
+        self._seq = 0
+        self._cold_pending = False  # next search pays/reports the spawn
+        self._started = False
+        self._broken = False
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def fingerprint(self) -> str | None:
+        """Content fingerprint of the resident reference (None before start)."""
+        return self._fingerprint
+
+    @property
+    def segment_name(self) -> str | None:
+        """Name of the resident shared-memory segment, if any."""
+        return self._segment.name if self._segment is not None else None
+
+    def serves(self, fingerprint: str | None) -> bool:
+        """Is the resident reference the one with this fingerprint?"""
+        return (
+            self._started
+            and fingerprint is not None
+            and fingerprint == self._fingerprint
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, database=None) -> "ShardWorkerPool":
+        """Publish the reference and spawn the workers (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ShardError("pool is closed")
+            if self._started:
+                return self
+            if database is not None:
+                self._database = database
+            try:
+                if self._payloads is None:
+                    if self._database is None:
+                        raise ShardError(
+                            "pool needs a database (or explicit payloads)"
+                        )
+                    (
+                        self._payloads,
+                        self._segment,
+                        self._fingerprint,
+                    ) = build_pool_payloads(self._database, self.plan)
+                    self._database = None  # the segment is the reference now
+                    if self._segment is not None:
+                        self.stats.payload_bytes = self._segment.meta.size
+                    else:
+                        self.stats.transport = "pickle"
+                else:
+                    self.stats.transport = "pickle"
+                t0 = time.perf_counter()
+                self._result_q = self._ctx.Queue()
+                self._cmd_qs = [None] * self.num_shards
+                self._procs = [None] * self.num_shards
+                for shard_id in range(self.num_shards):
+                    self._spawn(shard_id)
+                self._await_ready(range(self.num_shards))
+            except BaseException:
+                # A failed start must not leak workers or the /dev/shm
+                # entry; the pool is closed, the caller may build a new one.
+                self.close()
+                raise
+            self._last_spawn_s = time.perf_counter() - t0
+            self.stats.spawn_s += self._last_spawn_s
+            self._cold_pending = True
+            self._started = True
+            return self
+
+    def close(self) -> None:
+        """Shut workers down and unlink the shared segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard_id, proc in enumerate(self._procs):
+                if proc is not None and proc.is_alive():
+                    try:
+                        self._cmd_qs[shard_id].put(("shutdown", -1))
+                    except (OSError, ValueError):
+                        pass
+            deadline = time.monotonic() + _SHUTDOWN_JOIN_S
+            for proc in self._procs:
+                # proc.pid is None when proc.start() itself failed (e.g. a
+                # spawn bootstrap error); join/terminate assert on those.
+                if proc is None or proc.pid is None:
+                    continue
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            self._terminate_all()
+            for q in self._cmd_qs:
+                if q is not None:
+                    q.close()
+            if self._result_q is not None:
+                self._result_q.close()
+            self._cmd_qs, self._procs = [], []
+            if self._segment is not None:
+                self._segment.destroy()
+                self._segment = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- the commands --------------------------------------------------------
+    def search_topk(self, queries, *, timeout: float | None = None, **overrides) -> list[list[Hit]]:
+        """Global per-query top-K over the resident reference, merged.
+
+        ``overrides`` replace fields of the pool's
+        :class:`~repro.search.pipeline.SearchConfig` for this call only
+        (e.g. ``k=3``).  Bit-identical to a single-process
+        ``search_topk(queries, database, ...)`` with the same parameters.
+        """
+        t_run = time.perf_counter()
+        enc_queries = [encode(q) for q in queries]
+        qmax = max((q.size for q in enc_queries), default=0)
+        if qmax == 0:
+            raise ShardError("sharded search needs at least one query")
+        with self._lock:
+            cold = self._ensure_workers() or self._cold_pending
+            self._cold_pending = False
+            search_cfg = self.plan.search
+            if overrides:
+                search_cfg = replace(search_cfg, **overrides)
+            search_cfg = search_cfg.resolved_for(qmax)
+            run = ShardRunStats(
+                num_shards=self.num_shards,
+                warm=not cold,
+                spawn_s=self._last_spawn_s if cold else 0.0,
+                attach_s=max(self.stats.worker_attach_s.values(), default=0.0),
+            )
+            seq = self._next_seq()
+            deadline = self._deadline(timeout)
+            messages = self._gather_search(seq, enc_queries, search_cfg, deadline)
+
+            t0 = time.perf_counter()
+            reducer = TopKReducer(
+                len(enc_queries), k=search_cfg.k, min_score=search_cfg.min_score
+            )
+            for results, ws in messages:
+                run.add(ws)
+                reducer.absorb(results)
+            merged = reducer.results()
+            run.merge_s = time.perf_counter() - t0
+            run.total_s = time.perf_counter() - t_run
+            self.stats.searches += 1
+            if run.warm:
+                self.stats.warm_searches += 1
+            else:
+                self.stats.cold_searches += 1
+            self.stats.last_run = run
+            return merged
+
+    def swap_reference(self, database) -> None:
+        """Publish a new reference and flip every worker onto it.
+
+        Workers switch atomically between commands — a search is served
+        entirely by the reference that was resident when it was
+        dispatched — and the old segment is unlinked only after the last
+        worker acknowledged the swap, so no attach can race the unlink.
+        """
+        with self._lock:
+            if not self._started:
+                self.start(database)
+                return
+            self._ensure_workers()
+            t0 = time.perf_counter()
+            payloads, segment, fingerprint = build_pool_payloads(database, self.plan)
+            seq = self._next_seq()
+            for shard_id in range(self.num_shards):
+                self._cmd_qs[shard_id].put(("swap", seq, payloads[shard_id]))
+            try:
+                acks = self._collect("swapped", seq, set(range(self.num_shards)),
+                                     self._deadline(None))
+            except BaseException:
+                # Swap failed: the new segment has no committed owner yet.
+                if segment is not None:
+                    segment.destroy()
+                raise
+            old, self._segment = self._segment, segment
+            self._payloads, self._fingerprint = payloads, fingerprint
+            if old is not None:
+                old.destroy()  # every worker has detached: safe to unlink
+            for shard_id, msg in acks.items():
+                self.stats.worker_attach_s[shard_id] = msg[3]
+            self.stats.payload_bytes = segment.meta.size if segment else 0
+            self.stats.transport = "shared_memory" if segment else "pickle"
+            self.stats.swaps += 1
+            self.stats.swap_s += time.perf_counter() - t0
+
+    def ping(self, *, timeout: float | None = None) -> list[float]:
+        """Round-trip every worker; returns per-shard latencies (seconds)."""
+        with self._lock:
+            self._ensure_workers()
+            seq = self._next_seq()
+            t0 = time.monotonic()
+            for shard_id in range(self.num_shards):
+                self._cmd_qs[shard_id].put(("ping", seq))
+            acks = self._collect(
+                "pong", seq, set(range(self.num_shards)), self._deadline(timeout)
+            )
+            self.stats.pings += 1
+            return [time.monotonic() - t0 for _ in sorted(acks)]
+
+    def report(self) -> str:
+        """Pool residency/reuse table (perf.report format)."""
+        from repro.perf.report import pool_stats_table
+
+        return pool_stats_table(self)
+
+    # -- internals -----------------------------------------------------------
+    _last_spawn_s = 0.0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _deadline(self, timeout: float | None):
+        bound = timeout if timeout is not None else self.timeout
+        return time.monotonic() + bound if bound is not None else None
+
+    def _spawn(self, shard_id: int) -> None:
+        cmd_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=run_pool_worker,
+            args=(self.plan, shard_id, self._payloads[shard_id], cmd_q, self._result_q),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        old_q = self._cmd_qs[shard_id]
+        if old_q is not None:
+            old_q.close()  # a dead worker's queue may hold stale commands
+        self._cmd_qs[shard_id] = cmd_q
+        self._procs[shard_id] = proc
+        proc.start()
+        self.stats.spawns += 1
+
+    def _await_ready(self, shard_ids) -> None:
+        ready = self._collect("ready", -1, set(shard_ids), self._deadline(None))
+        for shard_id, msg in ready.items():
+            self.stats.record_ready(shard_id, msg[3])
+
+    def _ensure_workers(self) -> bool:
+        """Start lazily; respawn dead/broken workers.  True if any spawned."""
+        if self._closed:
+            raise ShardError("pool is closed")
+        if not self._started:
+            self.start()
+            return True
+        dead = [
+            sid
+            for sid, proc in enumerate(self._procs)
+            if self._broken or proc is None or not proc.is_alive()
+        ]
+        if not dead:
+            return False
+        if self._broken:
+            self._terminate_all()
+            self._broken = False
+        t0 = time.perf_counter()
+        for shard_id in dead:
+            self._spawn(shard_id)
+        self._await_ready(dead)
+        self._last_spawn_s = time.perf_counter() - t0
+        self.stats.spawn_s += self._last_spawn_s
+        self.stats.respawns += len(dead)
+        self._cold_pending = True
+        return True
+
+    def _terminate_all(self) -> None:
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc is not None and proc.pid is not None:
+                proc.join()
+
+    def _break(self) -> None:
+        """A round failed unrecoverably: kill workers, heal on next call."""
+        self._broken = True
+        self._terminate_all()
+
+    def _liveness_check(self, waiting_on, died_at: dict, deadline, label: str) -> None:
+        """Raise (and break the pool) on dead workers or a passed deadline."""
+        now = time.monotonic()
+        for shard_id in waiting_on:
+            proc = self._procs[shard_id]
+            if proc is None or proc.is_alive():
+                continue
+            if proc.exitcode not in (0, None):
+                self._break()
+                raise ShardWorkerError(
+                    f"shard {shard_id} worker died with exit code "
+                    f"{proc.exitcode} before reporting a result"
+                )
+            # Exit code 0 without a reply: give the queue feeder a grace
+            # window to deliver a trailing message, then treat the silence
+            # itself as the failure.
+            if now - died_at.setdefault(shard_id, now) > _DEAD_GRACE_S:
+                self._break()
+                raise ShardWorkerError(
+                    f"shard {shard_id} worker exited cleanly (code 0) "
+                    "but never reported a result"
+                )
+        if deadline is not None and now > deadline:
+            self._break()
+            missing = sorted(waiting_on)
+            raise ShardError(
+                f"timed out waiting for shard(s) {missing} during {label}"
+            )
+
+    def _collect(self, tag: str, seq: int, shard_ids: set, deadline) -> dict:
+        """One tagged reply per shard; crashes surface instead of hanging."""
+        messages: dict[int, tuple] = {}
+        died_at: dict[int, float] = {}
+        while len(messages) < len(shard_ids):
+            try:
+                msg = self._result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                self._liveness_check(
+                    shard_ids - set(messages), died_at, deadline, tag
+                )
+                continue
+            if msg[2] != seq or msg[1] not in shard_ids:
+                continue  # stale reply from an earlier, failed round
+            if msg[0] == "error":
+                raise ShardWorkerError(f"shard {msg[1]} worker raised:\n{msg[3]}")
+            if msg[0] == tag:
+                messages[msg[1]] = msg
+        return messages
+
+    def _gather_search(self, seq, enc_queries, search_cfg, deadline) -> list:
+        """Staggered dispatch + gather: one result per shard, in shard order.
+
+        At most :attr:`max_concurrent` shards hold a live ``search``
+        command at any moment; the next pending shard is dispatched as
+        each result lands, clamping pool concurrency to the host.
+        """
+        num = self.num_shards
+        pending = deque(range(num))
+        inflight: set[int] = set()
+        messages: dict[int, tuple] = {}
+        died_at: dict[int, float] = {}
+        while len(messages) < num:
+            while pending and len(inflight) < self.max_concurrent:
+                shard_id = pending.popleft()
+                self._cmd_qs[shard_id].put(
+                    ("search", seq, enc_queries, search_cfg)
+                )
+                inflight.add(shard_id)
+            try:
+                msg = self._result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                self._liveness_check(
+                    set(range(num)) - set(messages), died_at, deadline, "search"
+                )
+                continue
+            if msg[2] != seq:
+                continue  # stale reply from an earlier, failed round
+            if msg[0] == "error":
+                raise ShardWorkerError(f"shard {msg[1]} worker raised:\n{msg[3]}")
+            if msg[0] != "ok":
+                continue
+            _, shard_id, _, results, ws, done_ts = msg
+            ws.queue_wait_s = max(0.0, time.monotonic() - done_ts)
+            messages[shard_id] = (results, ws)
+            inflight.discard(shard_id)
+        return [messages[i] for i in sorted(messages)]
+
+    def __repr__(self):
+        state = (
+            "closed"
+            if self._closed
+            else "started" if self._started else "unstarted"
+        )
+        return (
+            f"ShardWorkerPool(shards={self.num_shards}, {state}, "
+            f"searches={self.stats.searches}, transport={self.stats.transport})"
+        )

@@ -23,6 +23,14 @@ The router exposes the service surface (``start``/``drain``/``close``,
 ``submit*``, ``capacity_for``, ``queue_depth``, ``stats``, ``report``), so
 :class:`~repro.serve.client.SyncAlignmentClient` drives it unchanged:
 ``SyncAlignmentClient(service=ShardRouter(...))``.
+
+Given ``pool=``, the router fans searches into a resident
+:class:`~repro.shard.pool.ShardWorkerPool` instead of the in-process
+services: the pool's workers hold the published reference and warm
+engines, so repeated online searches skip both spawn and payload
+transfer.  Score/align traffic still routes least-loaded across the
+services.  The router *borrows* the pool — closing the router never
+closes the pool, whose lifetime belongs to whoever built it.
 """
 
 from __future__ import annotations
@@ -118,6 +126,13 @@ class ShardRouter:
         so the router refuses to guess.
     search_kwargs:
         Default keyword arguments for ``submit_search`` on every shard.
+    pool:
+        A started (or startable) :class:`~repro.shard.pool.ShardWorkerPool`
+        to serve ``submit_search`` from.  The pool already holds the
+        partitioned reference, so ``database`` may be omitted; the
+        services then carry score/align traffic only.  Searches run on
+        the pool's worker processes via the event loop's default
+        executor; ``priority`` does not apply to them.
     service_kwargs:
         Everything else (engine, scheme, backend, target_batch, config,
         ...) forwarded to each :class:`AlignmentService`.
@@ -128,6 +143,7 @@ class ShardRouter:
         num_shards: int = 2,
         *,
         services: list | None = None,
+        pool=None,
         database=None,
         window: int | None = None,
         overlap: int | None = None,
@@ -136,6 +152,7 @@ class ShardRouter:
         **service_kwargs,
     ):
         self._search_kwargs = dict(search_kwargs or {})
+        self.pool = pool
         if services is not None:
             if not services:
                 raise ValidationError("services must be non-empty")
@@ -143,7 +160,7 @@ class ShardRouter:
         else:
             check_positive(num_shards, "num_shards")
             shard_dbs: list = [None] * num_shards
-            if database is not None:
+            if database is not None and pool is None:
                 kind, value = classify_database(database, materialize=True)
                 if kind == "chunks":
                     chunks = list(value)
@@ -251,7 +268,19 @@ class ShardRouter:
 
         Per-shard hit lists are bounded by the same ``k``, so the merge is
         exact: identical to a single service holding the whole database.
+        With a resident ``pool``, the fan-out (and the merge) happens on
+        the pool's worker processes instead — same bit-identical result,
+        no spawn and no payload transfer on the query path.
         """
+        if self.pool is not None:
+            merged = dict(self._search_kwargs)
+            merged.update(overrides)
+            loop = asyncio.get_running_loop()
+            results = await loop.run_in_executor(
+                None,
+                lambda: self.pool.search_topk([query], timeout=timeout, **merged),
+            )
+            return results[0]
         partials = await asyncio.gather(
             *(
                 svc.submit_search(

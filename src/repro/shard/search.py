@@ -1,8 +1,9 @@
 """Offline sharded search: N worker processes, one merged global top-K.
 
 NumPy-in-threads only buys so much under one GIL; :class:`ShardedSearch`
-runs the streaming search pipeline in ``plan.num_shards`` *processes*.
-Each worker owns the reference windows whose global ordinal hashes to it
+runs the streaming search pipeline in ``plan.num_shards`` *processes*,
+delegating to a :class:`~repro.shard.pool.ShardWorkerPool`.  Each worker
+owns the reference windows whose global ordinal hashes to it
 (:func:`repro.workloads.chunks.shard_of`), rebuilds an engine + pipeline
 from the picklable :class:`~repro.shard.plan.ShardPlan`, and streams its
 bounded per-query top-K back over a result queue.  The parent gathers the
@@ -11,50 +12,39 @@ used (:func:`repro.search.topk.merge_topk`), so the merged result is
 bit-identical to a single-process ``search_topk()`` over the whole
 database — the property the tier-1 tests pin.
 
-Failure handling: a worker that raises reports a formatted traceback
-(re-raised here as :class:`ShardWorkerError`); one that dies without
-reporting — hard crash, OOM kill — is caught by exit-code polling while
-the parent waits on the queue, so a lost worker is a clean error, never a
-hang.  An optional ``timeout`` bounds the whole gather.
+Two lifetimes:
+
+* ``persistent=False`` (default) — one-shot: spawn a cold pool, run the
+  search, tear it down.  Same semantics (and same cost) as the historical
+  spawn-per-search path; this is the baseline the pool benchmarks beat.
+* ``persistent=True`` — the searcher keeps its pool (and the published
+  shared-memory reference) resident between calls.  Repeat calls with
+  the same database are served warm; a *different* database triggers an
+  online :meth:`~repro.shard.pool.ShardWorkerPool.swap_reference`
+  (detected by content fingerprint).  Close the searcher (or use it as a
+  context manager) to release the workers and the segment.
+
+Failure handling lives in the pool and is unchanged: a worker that raises
+reports a formatted traceback (re-raised as :class:`ShardWorkerError`);
+one that dies without reporting — hard crash, OOM kill — is caught by
+exit-code polling, so a lost worker is a clean error, never a hang.  An
+optional ``timeout`` bounds each gather.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_mod
-import time
-
 from repro.search.pipeline import SearchConfig
-from repro.search.topk import Hit, TopKReducer
-from repro.shard.plan import ShardPlan, build_payloads
+from repro.search.topk import Hit
+from repro.shard.plan import ShardPlan, fingerprint_database
+from repro.shard.pool import ShardError, ShardWorkerError, ShardWorkerPool
 from repro.shard.stats import ShardRunStats
-from repro.shard.worker import run_shard
 from repro.util.checks import ReproError
-from repro.util.encoding import encode
 
 __all__ = ["ShardedSearch", "ShardError", "ShardWorkerError", "sharded_search_topk"]
 
-#: How often the gather loop wakes to check worker liveness (seconds).
-_POLL_S = 0.2
-
-#: How long a dead-but-unreported worker's message may trail its exit.
-#: A worker that put its result just before exiting can still have the
-#: queue feeder's bytes in flight; past this window a silent death — even
-#: one with exit code 0 (``os._exit(0)``, a feeder that failed to pickle)
-#: — is an error, upholding the never-a-hang guarantee.
-_DEAD_GRACE_S = 5.0
-
-
-class ShardError(ReproError):
-    """Base class for sharded-search failures."""
-
-
-class ShardWorkerError(ShardError):
-    """A worker process failed (reported an exception or died silently)."""
-
 
 class ShardedSearch:
-    """Drive one query set against a database across worker processes.
+    """Drive query sets against a database across worker processes.
 
     Parameters
     ----------
@@ -65,16 +55,20 @@ class ShardedSearch:
         explicit conflicting ``num_shards`` is an error, not a silent tie.
     plan:
         A full :class:`~repro.shard.plan.ShardPlan`; built from
-        ``num_shards`` + ``engine`` + ``search_kwargs`` otherwise.
+        ``num_shards`` + ``search_kwargs`` otherwise.
     timeout:
-        Overall bound in seconds on waiting for workers (None = no bound;
-        crashes are detected either way).
+        Bound in seconds on waiting for workers per call (None = no
+        bound; crashes are detected either way).
+    persistent:
+        Keep the worker pool and published reference resident between
+        :meth:`search_topk` calls (see module doc).  Default False.
     search_kwargs:
         Anything :func:`repro.search.search` accepts except ``engine``
         (workers build their own from ``plan.engine``).
 
     ``stats`` holds the :class:`~repro.shard.stats.ShardRunStats` of the
-    most recent :meth:`search_topk` call.
+    most recent :meth:`search_topk` call; ``pool`` exposes the resident
+    :class:`~repro.shard.pool.ShardWorkerPool` when persistent.
     """
 
     def __init__(
@@ -84,6 +78,8 @@ class ShardedSearch:
         plan: ShardPlan | None = None,
         engine=None,
         timeout: float | None = None,
+        persistent: bool = False,
+        max_concurrent: int | None = None,
         **search_kwargs,
     ):
         if engine is not None:
@@ -106,116 +102,59 @@ class ShardedSearch:
                 )
         self.plan = plan
         self.timeout = timeout
+        self.persistent = persistent
+        self.max_concurrent = max_concurrent
         self.stats: ShardRunStats | None = None
+        self.pool: ShardWorkerPool | None = None
 
     # -- internals, overridable for tests -----------------------------------
-    def _payloads(self, database, plan: ShardPlan) -> list:
-        return build_payloads(database, plan)
+    def _payloads(self, database, plan: ShardPlan) -> list | None:
+        """Explicit per-shard payload override; None = pool publishes."""
+        return None
 
-    def _gather(self, procs, result_q, deadline) -> list:
-        """Collect one message per shard; surface crashes instead of hanging."""
-        messages: dict[int, tuple] = {}
-        reported: set[int] = set()
-        died_at: dict[int, float] = {}  # shard id → first seen dead
-        while len(messages) < len(procs):
-            try:
-                msg = result_q.get(timeout=_POLL_S)
-            except queue_mod.Empty:
-                now = time.monotonic()
-                for shard_id, proc in enumerate(procs):
-                    if shard_id in reported or proc.is_alive():
-                        continue
-                    if proc.exitcode not in (0, None):
-                        self._terminate(procs)
-                        raise ShardWorkerError(
-                            f"shard {shard_id} worker died with exit code "
-                            f"{proc.exitcode} before reporting a result"
-                        )
-                    # Exit code 0 without a result: give the queue feeder a
-                    # grace window to deliver a trailing message, then treat
-                    # the silence itself as the failure.
-                    if now - died_at.setdefault(shard_id, now) > _DEAD_GRACE_S:
-                        self._terminate(procs)
-                        raise ShardWorkerError(
-                            f"shard {shard_id} worker exited cleanly (code 0) "
-                            "but never reported a result"
-                        )
-                if deadline is not None and time.monotonic() > deadline:
-                    self._terminate(procs)
-                    missing = sorted(set(range(len(procs))) - reported)
-                    raise ShardError(
-                        f"timed out after {self.timeout}s waiting for "
-                        f"shard(s) {missing}"
-                    )
-                continue
-            shard_id = msg[1]
-            reported.add(shard_id)
-            if msg[0] == "error":
-                self._terminate(procs)
-                raise ShardWorkerError(
-                    f"shard {shard_id} worker raised:\n{msg[2]}"
-                )
-            _, _, results, ws, done_ts = msg
-            ws.queue_wait_s = max(0.0, time.monotonic() - done_ts)
-            messages[shard_id] = (results, ws)
-        return [messages[i] for i in sorted(messages)]
-
-    @staticmethod
-    def _terminate(procs):
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in procs:
-            proc.join()
+    def _make_pool(self, database) -> ShardWorkerPool:
+        payloads = self._payloads(database, self.plan)
+        return ShardWorkerPool(
+            database if payloads is None else None,
+            plan=self.plan,
+            timeout=self.timeout,
+            max_concurrent=self.max_concurrent,
+            payloads=payloads,
+        )
 
     # -- entry point ---------------------------------------------------------
     def search_topk(self, queries, database) -> list[list[Hit]]:
         """Global per-query top-K, merged across all shards."""
-        t_run = time.perf_counter()
-        enc_queries = [encode(q) for q in queries]
-        qmax = max((q.size for q in enc_queries), default=0)
-        if qmax == 0:
-            raise ShardError("sharded search needs at least one query")
-        plan = self.plan.resolved_for(qmax)
-        payloads = self._payloads(database, plan)
-        stats = ShardRunStats(num_shards=plan.num_shards)
-
-        ctx = multiprocessing.get_context(plan.start_method)
-        result_q = ctx.Queue()
-        t0 = time.perf_counter()
-        procs = [
-            ctx.Process(
-                target=run_shard,
-                args=(plan, shard_id, enc_queries, payloads[shard_id], result_q),
-                name=f"repro-shard-{shard_id}",
-                daemon=True,
-            )
-            for shard_id in range(plan.num_shards)
-        ]
-        for proc in procs:
-            proc.start()
-        stats.spawn_s = time.perf_counter() - t0
-
-        deadline = time.monotonic() + self.timeout if self.timeout is not None else None
-        try:
-            messages = self._gather(procs, result_q, deadline)
-        finally:
-            # Workers have either reported or been terminated; reap them.
-            for proc in procs:
-                proc.join(timeout=10.0)
-
-        t0 = time.perf_counter()
-        reducer = TopKReducer(
-            len(enc_queries), k=plan.search.k, min_score=plan.search.min_score
-        )
-        for results, ws in messages:
-            stats.add(ws)
-            reducer.absorb(results)
-        merged = reducer.results()
-        stats.merge_s = time.perf_counter() - t0
-        stats.total_s = time.perf_counter() - t_run
-        self.stats = stats
+        if self.persistent:
+            merged = self._search_persistent(queries, database)
+        else:
+            with self._make_pool(database) as pool:
+                merged = pool.search_topk(queries)
+                self.stats = pool.stats.last_run
         return merged
+
+    def _search_persistent(self, queries, database) -> list[list[Hit]]:
+        if self.pool is None or self.pool.closed:
+            self.pool = self._make_pool(database).start()
+        elif not self.pool.serves(fingerprint_database(database)):
+            # Resident reference differs: republish and flip the workers
+            # online instead of respawning the pool.
+            self.pool.swap_reference(database)
+        merged = self.pool.search_topk(queries)
+        self.stats = self.pool.stats.last_run
+        return merged
+
+    def close(self) -> None:
+        """Release the resident pool, if any (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def report(self) -> str:
         """Per-shard work/timing table of the last run (perf.report format)."""

@@ -1,17 +1,22 @@
-"""Per-shard work accounting for sharded search runs.
+"""Per-shard work accounting for sharded search runs and pool residency.
 
 Each worker process summarises its own pipeline run into a picklable
 :class:`ShardWorkerStats` (plain scalars, shipped back over the result
 queue alongside the hits); the parent folds them into a
-:class:`ShardRunStats` with the merge/total timing only it can observe.
-Rendered by :func:`repro.perf.report.shard_stats_table`.
+:class:`ShardRunStats` with the merge/total timing only it can observe —
+including whether the run was **warm** (resident workers reused) or
+**cold** (paid spawn + attach).  :class:`PoolStats` is the pool-lifetime
+ledger: searches served cold vs. warm, reference swaps, respawns after
+worker deaths, and the per-worker shared-memory attach times.  Rendered
+by :func:`repro.perf.report.shard_stats_table` /
+:func:`repro.perf.report.pool_stats_table`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ShardWorkerStats", "ShardRunStats"]
+__all__ = ["ShardWorkerStats", "ShardRunStats", "PoolStats"]
 
 
 @dataclass(slots=True)
@@ -60,8 +65,10 @@ class ShardRunStats:
     num_shards: int
     workers: list = field(default_factory=list)  # ShardWorkerStats, by shard id
     merge_s: float = 0.0  # global top-K reduction over gathered heaps
-    spawn_s: float = 0.0  # process creation + start
+    spawn_s: float = 0.0  # process creation + ready handshake (0 when warm)
     total_s: float = 0.0  # end-to-end wall time of the run
+    warm: bool = False  # served by already-resident workers
+    attach_s: float = 0.0  # slowest worker's shm attach for the resident ref
 
     def add(self, ws: ShardWorkerStats):
         self.workers.append(ws)
@@ -96,4 +103,59 @@ class ShardRunStats:
             "merge_s": self.merge_s,
             "spawn_s": self.spawn_s,
             "total_s": self.total_s,
+            "warm": self.warm,
+            "attach_s": self.attach_s,
+        }
+
+
+@dataclass
+class PoolStats:
+    """Lifetime accounting for one :class:`~repro.shard.pool.ShardWorkerPool`.
+
+    ``worker_attach_s``/``worker_ready_s`` hold the *latest* per-shard
+    measurements (refreshed on respawn and reference swap): attach is the
+    shared-memory map + view construction, ready is the whole startup
+    handshake including engine build.  ``payload_bytes`` is the published
+    segment size — the O(1)-in-workers transfer the pool exists to make.
+    """
+
+    num_shards: int
+    searches: int = 0  # search_topk calls served
+    cold_searches: int = 0  # calls that paid spawn (first after start/restart)
+    warm_searches: int = 0  # calls served by resident workers
+    spawns: int = 0  # worker processes ever started
+    respawns: int = 0  # restarts after a worker death or failed run
+    swaps: int = 0  # SWAP_REFERENCE cycles completed
+    pings: int = 0
+    spawn_s: float = 0.0  # cumulative process start + ready handshake time
+    swap_s: float = 0.0  # cumulative publish + flip + unlink time
+    payload_bytes: int = 0  # resident segment size (0 = pickled chunk lists)
+    transport: str = "shared_memory"  # or "pickle" for chunk databases
+    worker_attach_s: dict = field(default_factory=dict)  # shard id -> seconds
+    worker_ready_s: dict = field(default_factory=dict)  # shard id -> seconds
+    last_run: ShardRunStats | None = None
+
+    def record_ready(self, shard_id: int, ready: dict):
+        self.worker_attach_s[shard_id] = ready.get("attach_s", 0.0)
+        self.worker_ready_s[shard_id] = ready.get("ready_s", 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-shaped copy (bench files, pool residency tables)."""
+        attach = [self.worker_attach_s[k] for k in sorted(self.worker_attach_s)]
+        return {
+            "num_shards": self.num_shards,
+            "searches": self.searches,
+            "cold_searches": self.cold_searches,
+            "warm_searches": self.warm_searches,
+            "spawns": self.spawns,
+            "respawns": self.respawns,
+            "swaps": self.swaps,
+            "pings": self.pings,
+            "spawn_s": self.spawn_s,
+            "swap_s": self.swap_s,
+            "payload_bytes": self.payload_bytes,
+            "transport": self.transport,
+            "worker_attach_s": attach,
+            "attach_max_s": max(attach, default=0.0),
+            "last_run": self.last_run.snapshot() if self.last_run else None,
         }

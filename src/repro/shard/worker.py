@@ -1,35 +1,56 @@
-"""The shard worker entrypoint: rebuild engine + pipeline, search, report.
+"""The shard worker: a persistent command loop over a resident reference.
 
-``run_shard`` is the ``multiprocessing.Process`` target.  It is a plain
-module-level function taking only picklable arguments (the resolved
-:class:`~repro.shard.plan.ShardPlan`, the shard id, pre-encoded queries,
-a database payload, and the result queue), so it works under the
-``spawn`` start method — nothing is inherited from the parent except what
-crosses the pickle boundary.
+``run_pool_worker`` is the ``multiprocessing.Process`` target for
+:class:`~repro.shard.pool.ShardWorkerPool`.  It is a plain module-level
+function taking only picklable arguments (the :class:`ShardPlan`, the
+shard id, a database payload, and the command/result queues), so it works
+under the ``spawn`` start method — nothing is inherited from the parent
+except what crosses the pickle boundary.
 
-Protocol: exactly one message per worker on the result queue —
+Startup: the worker builds its engine **once**, attaches its payload (for
+:class:`~repro.shard.plan.SharedRecordPayload` this maps the published
+shared-memory segment and builds zero-copy record views — after the
+engine, so a bad engine config never dies holding live views), and
+reports ``("ready", shard_id, -1, stats, ts)``.  It
+then blocks on the command queue and services commands until told to
+stop — the whole point: spawn + attach + engine build are paid once and
+amortized over every subsequent search.
 
-* ``("ok", shard_id, results, stats, done_ts)`` — the shard's bounded
-  per-query top-K (:class:`~repro.search.topk.Hit` lists), its
-  :class:`~repro.shard.stats.ShardWorkerStats`, and a CLOCK_MONOTONIC
-  stamp the parent turns into queue-wait time;
-* ``("error", shard_id, formatted_traceback, done_ts)`` — any exception,
-  so the parent re-raises a :class:`~repro.shard.search.ShardWorkerError`
-  instead of hanging on a silent worker death.
+Command protocol (parent → worker on the per-worker command queue; every
+reply carries ``(tag, shard_id, seq, ..., done_ts)`` on the shared result
+queue, where ``seq`` echoes the command's sequence number so the parent
+can discard stale replies after a failed run):
 
-A worker that dies without reporting at all (hard crash, OOM kill) is
-detected by the parent via its exit code.
+* ``("search", seq, enc_queries, search_cfg)`` → ``("ok", shard_id, seq,
+  results, ShardWorkerStats, ts)`` — one bounded per-query top-K over the
+  shard's windows of the resident reference, windowed per-call from
+  ``search_cfg`` (a resolved :class:`~repro.search.pipeline.SearchConfig`).
+* ``("swap", seq, payload)`` → ``("swapped", shard_id, seq, attach_s,
+  ts)`` — attach the new reference payload, then drop the old attachment;
+  queries never observe a half-swapped state because the flip happens
+  between commands, and the parent unlinks the old segment only after
+  every worker has acknowledged.
+* ``("ping", seq)`` → ``("pong", shard_id, seq, ts)`` — liveness probe.
+* ``("shutdown", seq)`` → no reply; the worker closes its engine,
+  detaches, and exits 0.
+
+Any exception while serving a command is reported as ``("error",
+shard_id, seq, formatted_traceback, ts)`` and the loop *continues* — one
+failed search must not take the shard down.  Startup failures report with
+``seq == -1`` and exit.  A worker that dies without reporting at all
+(hard crash, OOM kill) is detected by the parent via exit-code polling.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
+from dataclasses import replace
 
 from repro.shard.plan import ShardPlan
 from repro.shard.stats import ShardWorkerStats
 
-__all__ = ["run_shard", "shard_engine_workers"]
+__all__ = ["run_pool_worker", "shard_engine_workers"]
 
 
 def shard_engine_workers(plan: ShardPlan) -> int | None:
@@ -38,31 +59,124 @@ def shard_engine_workers(plan: ShardPlan) -> int | None:
     ``None`` in the engine config means "size for the host"; a shard
     worker divides the host's cores among its siblings so N processes
     don't stack N full thread pools onto the same cores.
+
+    Policy: the divisor is the number of workers that can actually run
+    *concurrently* — ``min(num_shards, cpu_count)`` — never the raw shard
+    count.  With more shards than cores each worker still gets one thread
+    (the old ``max(1, cores // num_shards)`` clamp), and the concurrency
+    excess is handled where it belongs: the pool staggers its dispatch so
+    at most ``cpu_count`` shard searches are in flight at once
+    (:attr:`~repro.shard.pool.ShardWorkerPool.max_concurrent`), instead
+    of running ``num_shards`` single-threaded workers against
+    ``cpu_count`` cores simultaneously and paying the oversubscription in
+    context switches.
     """
     if plan.engine.max_workers is not None:
         return plan.engine.max_workers
     import os
 
-    return max(1, (os.cpu_count() or 1) // plan.num_shards)
+    cores = os.cpu_count() or 1
+    return max(1, cores // min(plan.num_shards, cores))
 
 
-def run_shard(plan: ShardPlan, shard_id: int, queries: list, payload, out_q) -> None:
-    """Search one shard of the database; report exactly one queue message."""
+def _attach(payload):
+    """Resolve a payload to its worker-resident form (timed by callers).
+
+    Shared-memory payloads attach and return a resident view holder;
+    plain pickled payloads (chunk lists, test doubles) are already
+    resident and pass through unchanged.
+    """
+    attach = getattr(payload, "attach", None)
+    return attach() if attach is not None else payload
+
+
+def _detach(resident) -> None:
+    close = getattr(resident, "close", None)
+    if close is not None:
+        close()
+
+
+def run_pool_worker(plan: ShardPlan, shard_id: int, payload, cmd_q, out_q) -> None:
+    """Serve search commands for one shard until shutdown (see module doc)."""
+    t_start = time.perf_counter()
+    resident = engine = None
     try:
         from repro.search.pipeline import search
 
+        # Engine first: it depends only on the plan, so a bad config dies
+        # before any shared-memory views exist (a child exiting with live
+        # exported views can't unmap cleanly and whines at shutdown).
         scheme = plan.search.resolved_scheme()
-        source = payload.chunk_iter(plan, shard_id)
+        engine = plan.engine.build(scheme, max_workers=shard_engine_workers(plan))
         t0 = time.perf_counter()
-        with plan.engine.build(scheme, max_workers=shard_engine_workers(plan)) as engine:
-            run = search(queries, source, engine=engine, **plan.search.search_kwargs())
-            results = run.topk()
-            stats = ShardWorkerStats.from_pipeline(
-                shard_id,
-                run.stats,
-                hits=sum(len(hits) for hits in results),
-                search_s=time.perf_counter() - t0,
-            )
-        out_q.put(("ok", shard_id, results, stats, time.monotonic()))
+        resident = _attach(payload)
+        attach_s = time.perf_counter() - t0
     except BaseException:
-        out_q.put(("error", shard_id, traceback.format_exc(), time.monotonic()))
+        out_q.put(("error", shard_id, -1, traceback.format_exc(), time.monotonic()))
+        if resident is not None:
+            _detach(resident)
+        if engine is not None:
+            engine.close()
+        return
+    out_q.put(
+        (
+            "ready",
+            shard_id,
+            -1,
+            {"attach_s": attach_s, "ready_s": time.perf_counter() - t_start},
+            time.monotonic(),
+        )
+    )
+    try:
+        while True:
+            cmd = cmd_q.get()
+            op, seq = cmd[0], cmd[1]
+            try:
+                if op == "shutdown":
+                    return
+                if op == "ping":
+                    out_q.put(("pong", shard_id, seq, time.monotonic()))
+                elif op == "swap":
+                    t0 = time.perf_counter()
+                    fresh = _attach(cmd[2])
+                    old, resident = resident, fresh
+                    _detach(old)
+                    out_q.put(
+                        (
+                            "swapped",
+                            shard_id,
+                            seq,
+                            time.perf_counter() - t0,
+                            time.monotonic(),
+                        )
+                    )
+                elif op == "search":
+                    enc_queries, search_cfg = cmd[2], cmd[3]
+                    splan = replace(plan, search=search_cfg)
+                    t0 = time.perf_counter()
+                    source = resident.chunk_iter(splan, shard_id)
+                    run = search(
+                        enc_queries,
+                        source,
+                        engine=engine,
+                        **search_cfg.search_kwargs(),
+                    )
+                    results = run.topk()
+                    stats = ShardWorkerStats.from_pipeline(
+                        shard_id,
+                        run.stats,
+                        hits=sum(len(hits) for hits in results),
+                        search_s=time.perf_counter() - t0,
+                    )
+                    out_q.put(
+                        ("ok", shard_id, seq, results, stats, time.monotonic())
+                    )
+                else:
+                    raise ValueError(f"unknown pool command {op!r}")
+            except BaseException:
+                out_q.put(
+                    ("error", shard_id, seq, traceback.format_exc(), time.monotonic())
+                )
+    finally:
+        engine.close()
+        _detach(resident)

@@ -3,6 +3,7 @@ streaming reference chunking."""
 
 from repro.workloads.chunks import (
     Chunk,
+    chunk_encoded_records,
     chunk_records,
     chunk_sequence,
     partition_chunks,
@@ -29,6 +30,7 @@ from repro.workloads.datasets import (
 
 __all__ = [
     "Chunk",
+    "chunk_encoded_records",
     "chunk_records",
     "chunk_sequence",
     "partition_chunks",

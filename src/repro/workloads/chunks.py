@@ -26,6 +26,7 @@ __all__ = [
     "Chunk",
     "chunk_sequence",
     "chunk_records",
+    "chunk_encoded_records",
     "shard_of",
     "shard_chunks",
     "partition_chunks",
@@ -74,7 +75,13 @@ def chunk_sequence(
         raise ValidationError(
             f"overlap must be in [0, window), got overlap={overlap} window={window}"
         )
-    seq = encode(sequence)
+    yield from _windows(encode(sequence), window, overlap, name, start_id)
+
+
+def _windows(
+    seq: np.ndarray, window: int, overlap: int, name: str, start_id: int
+) -> Iterator[Chunk]:
+    """Core windowing loop over an already-encoded array (zero-copy views)."""
     n = seq.size
     if n == 0:
         return
@@ -129,6 +136,36 @@ def partition_chunks(chunks: Iterable[Chunk], num_shards: int) -> list[list[Chun
     for chunk in chunks:
         parts[shard_of(chunk.id, num_shards)].append(chunk)
     return parts
+
+
+def chunk_encoded_records(
+    records: Iterable, window: int, overlap: int = 0
+) -> Iterator[Chunk]:
+    """:func:`chunk_records` over *pre-encoded* ``(name, uint8 codes)`` pairs.
+
+    The shared-memory reference path (:mod:`repro.shard.shm`) publishes
+    records already encoded and validated, so re-running :func:`encode`'s
+    per-call validation scan on every search would be pure waste.  This
+    variant windows the arrays as given — every chunk is a zero-copy view
+    into the caller's buffer (for a shared segment, directly into the
+    mapped memory) — while producing exactly the global chunk ordinals of
+    :func:`chunk_records` on the equivalent record stream, the invariant
+    the sharded merge rests on.
+    """
+    check_positive(window, "window")
+    if not 0 <= overlap < window:
+        raise ValidationError(
+            f"overlap must be in [0, window), got overlap={overlap} window={window}"
+        )
+    next_id = 0
+    for name, codes in records:
+        if codes is None or codes.size == 0:
+            continue
+        chunk = None
+        for chunk in _windows(codes, window, overlap, name, next_id):
+            yield chunk
+        if chunk is not None:
+            next_id = chunk.id + 1
 
 
 def chunk_records(records: Iterable, window: int, overlap: int = 0) -> Iterator[Chunk]:

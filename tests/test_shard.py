@@ -339,9 +339,9 @@ class TestWorkerFailures:
 
     def test_silent_exit0_death_is_error_not_hang(self, monkeypatch):
         """Exit code 0 without a result must not satisfy the gather loop."""
-        import repro.shard.search as shard_search
+        import repro.shard.pool as shard_pool
 
-        monkeypatch.setattr(shard_search, "_DEAD_GRACE_S", 0.5)
+        monkeypatch.setattr(shard_pool, "_DEAD_GRACE_S", 0.5)
         ref, queries = _planted_instance(4000, 2, 80, seed=29)
         sharded = _BombedSearch(_SilentExitBomb(), plan=self._plan(), timeout=120)
         t0 = time.perf_counter()
