@@ -27,8 +27,10 @@ New, pool-only semantics:
   old segment is unlinked only after every worker acknowledged, so no
   query ever sees a half-swapped reference.
 * **Self-healing** — a worker found dead between calls (or a run that
-  failed) is respawned on the next call instead of wedging it; the
-  respawn is visible in ``stats.respawns``.
+  failed) triggers a full respawn on the next call instead of wedging
+  it: survivors stop gracefully, the result queue is rebuilt (an
+  abnormal death can poison the shared queue's write lock), and every
+  worker comes back fresh — visible in ``stats.respawns``.
 * **Host-clamped concurrency** — at most :attr:`max_concurrent`
   (``min(num_shards, cpu_count)`` by default) shard searches are
   dispatched at once, so oversharded pools degrade to staggered execution
@@ -340,6 +342,11 @@ class ShardWorkerPool:
         entirely by the reference that was resident when it was
         dispatched — and the old segment is unlinked only after the last
         worker acknowledged the swap, so no attach can race the unlink.
+
+        A swap that fails part-way (a worker errored, died, or timed
+        out) breaks the pool: every worker is terminated and the next
+        call respawns them onto the old, still-published reference, so
+        callers never see results merged across two references.
         """
         with self._lock:
             if not self._started:
@@ -352,10 +359,34 @@ class ShardWorkerPool:
             for shard_id in range(self.num_shards):
                 self._cmd_qs[shard_id].put(("swap", seq, payloads[shard_id]))
             try:
-                acks = self._collect("swapped", seq, set(range(self.num_shards)),
-                                     self._deadline(None))
+                # Collect one reply per shard *before* judging the swap:
+                # a worker that failed must not abort the wait while its
+                # siblings are still mid-reply, because the failure path
+                # terminates them — and killing a worker whose queue
+                # feeder holds the result queue's shared write lock
+                # wedges the queue for every respawned worker.  Once all
+                # replies landed, every live worker is idle.
+                acks = self._collect(
+                    "swapped",
+                    seq,
+                    set(range(self.num_shards)),
+                    self._deadline(None),
+                    collect_errors=True,
+                )
+                for shard_id, msg in sorted(acks.items()):
+                    if msg[0] == "error":
+                        raise ShardWorkerError(
+                            f"shard {shard_id} worker raised:\n{msg[3]}"
+                        )
             except BaseException:
-                # Swap failed: the new segment has no committed owner yet.
+                # Swap failed: workers that already acked sit on the new
+                # reference while the pool (and any erroring worker)
+                # keeps the old one.  Break the pool so the next call
+                # respawns every worker onto the still-intact old
+                # payloads — a mixed-reference pool would silently merge
+                # results from two different references.  Only then drop
+                # the uncommitted new segment (no worker maps it anymore).
+                self._break()
                 if segment is not None:
                     segment.destroy()
                 raise
@@ -371,18 +402,28 @@ class ShardWorkerPool:
             self.stats.swap_s += time.perf_counter() - t0
 
     def ping(self, *, timeout: float | None = None) -> list[float]:
-        """Round-trip every worker; returns per-shard latencies (seconds)."""
+        """Round-trip every worker; returns per-shard latencies (seconds).
+
+        Each entry is dispatch-to-reply-arrival for that shard (arrival
+        stamped as its pong is collected), so a slow worker shows up in
+        its own entry instead of inflating every shard's number.
+        """
         with self._lock:
             self._ensure_workers()
             seq = self._next_seq()
             t0 = time.monotonic()
             for shard_id in range(self.num_shards):
                 self._cmd_qs[shard_id].put(("ping", seq))
-            acks = self._collect(
-                "pong", seq, set(range(self.num_shards)), self._deadline(timeout)
+            arrivals: dict[int, float] = {}
+            self._collect(
+                "pong",
+                seq,
+                set(range(self.num_shards)),
+                self._deadline(timeout),
+                arrivals=arrivals,
             )
             self.stats.pings += 1
-            return [time.monotonic() - t0 for _ in sorted(acks)]
+            return [arrivals[shard_id] - t0 for shard_id in sorted(arrivals)]
 
     def report(self) -> str:
         """Pool residency/reuse table (perf.report format)."""
@@ -423,29 +464,35 @@ class ShardWorkerPool:
             self.stats.record_ready(shard_id, msg[3])
 
     def _ensure_workers(self) -> bool:
-        """Start lazily; respawn dead/broken workers.  True if any spawned."""
+        """Start lazily; heal after worker death.  True if any spawned.
+
+        Healing is all-or-nothing: a worker that died abnormally may
+        have been killed holding the shared result queue's write lock
+        (a SIGTERM can catch the queue feeder mid-send), and a newcomer
+        sharing that queue would block forever on its first reply.  So
+        survivors are stopped gracefully, the result queue itself is
+        rebuilt, and the full complement respawns onto the fresh queue.
+        """
         if self._closed:
             raise ShardError("pool is closed")
         if not self._started:
             self.start()
             return True
-        dead = [
-            sid
-            for sid, proc in enumerate(self._procs)
-            if self._broken or proc is None or not proc.is_alive()
-        ]
-        if not dead:
+        if not self._broken and all(
+            proc is not None and proc.is_alive() for proc in self._procs
+        ):
             return False
-        if self._broken:
-            self._terminate_all()
-            self._broken = False
+        self._break()  # graceful stop of survivors (idempotent)
+        self._broken = False
+        self._result_q.close()
+        self._result_q = self._ctx.Queue()
         t0 = time.perf_counter()
-        for shard_id in dead:
+        for shard_id in range(self.num_shards):
             self._spawn(shard_id)
-        self._await_ready(dead)
+        self._await_ready(range(self.num_shards))
         self._last_spawn_s = time.perf_counter() - t0
         self.stats.spawn_s += self._last_spawn_s
-        self.stats.respawns += len(dead)
+        self.stats.respawns += self.num_shards
         self._cold_pending = True
         return True
 
@@ -458,8 +505,28 @@ class ShardWorkerPool:
                 proc.join()
 
     def _break(self) -> None:
-        """A round failed unrecoverably: kill workers, heal on next call."""
+        """A round failed unrecoverably: stop workers, heal on next call.
+
+        Workers still alive get a shutdown command and a bounded join
+        before being terminated: SIGTERM-ing a live worker can catch its
+        result-queue feeder thread between writing a reply and releasing
+        the queue's shared write lock, which would leave the lock held
+        forever and wedge every message a respawned worker tries to
+        send.  A worker that ignores the shutdown (wedged) is terminated
+        after the join window — the never-hang bound still holds.
+        """
         self._broken = True
+        for shard_id, proc in enumerate(self._procs):
+            if proc is not None and proc.is_alive():
+                try:
+                    self._cmd_qs[shard_id].put(("shutdown", -1))
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + _SHUTDOWN_JOIN_S
+        for proc in self._procs:
+            if proc is None or proc.pid is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
         self._terminate_all()
 
     def _liveness_check(self, waiting_on, died_at: dict, deadline, label: str) -> None:
@@ -491,8 +558,27 @@ class ShardWorkerPool:
                 f"timed out waiting for shard(s) {missing} during {label}"
             )
 
-    def _collect(self, tag: str, seq: int, shard_ids: set, deadline) -> dict:
-        """One tagged reply per shard; crashes surface instead of hanging."""
+    def _collect(
+        self,
+        tag: str,
+        seq: int,
+        shard_ids: set,
+        deadline,
+        *,
+        arrivals: dict | None = None,
+        collect_errors: bool = False,
+    ) -> dict:
+        """One tagged reply per shard; crashes surface instead of hanging.
+
+        ``arrivals``, when given, receives each shard's reply-collection
+        time (``time.monotonic()``) so callers can report per-shard
+        latencies instead of one all-acks-in number.
+
+        With ``collect_errors`` an ``("error", ...)`` reply is stored
+        like an ack instead of raising immediately — for callers (the
+        swap) that must keep waiting until *every* worker has replied
+        and is provably idle before reacting to the failure.
+        """
         messages: dict[int, tuple] = {}
         died_at: dict[int, float] = {}
         while len(messages) < len(shard_ids):
@@ -505,10 +591,12 @@ class ShardWorkerPool:
                 continue
             if msg[2] != seq or msg[1] not in shard_ids:
                 continue  # stale reply from an earlier, failed round
-            if msg[0] == "error":
+            if msg[0] == "error" and not collect_errors:
                 raise ShardWorkerError(f"shard {msg[1]} worker raised:\n{msg[3]}")
-            if msg[0] == tag:
+            if msg[0] == tag or msg[0] == "error":
                 messages[msg[1]] = msg
+                if arrivals is not None:
+                    arrivals[msg[1]] = time.monotonic()
         return messages
 
     def _gather_search(self, seq, enc_queries, search_cfg, deadline) -> list:

@@ -132,7 +132,13 @@ class ShardRouter:
         partitioned reference, so ``database`` may be omitted; the
         services then carry score/align traffic only.  Searches run on
         the pool's worker processes via the event loop's default
-        executor; ``priority`` does not apply to them.
+        executor; ``priority`` does not apply to them.  Note the pool
+        serializes its public methods on an internal lock, so concurrent
+        ``submit_search`` calls execute **one query set at a time** —
+        what the pool buys is zero spawn/transfer cost per query, not
+        query-level fan-out concurrency.  Batch queries into one
+        ``pool.search_topk(queries)`` call where search throughput
+        matters.
     service_kwargs:
         Everything else (engine, scheme, backend, target_batch, config,
         ...) forwarded to each :class:`AlignmentService`.
@@ -270,7 +276,9 @@ class ShardRouter:
         exact: identical to a single service holding the whole database.
         With a resident ``pool``, the fan-out (and the merge) happens on
         the pool's worker processes instead — same bit-identical result,
-        no spawn and no payload transfer on the query path.
+        no spawn and no payload transfer on the query path; concurrent
+        calls serialize on the pool's lock (single query set in flight —
+        see the ``pool`` parameter note).
         """
         if self.pool is not None:
             merged = dict(self._search_kwargs)

@@ -123,12 +123,21 @@ class SharedSegment:
 
 
 def fingerprint_records(records) -> str:
-    """Content hash of ``((name, uint8 codes), ...)`` encoded records."""
+    """Content hash of ``((name, uint8 codes), ...)`` encoded records.
+
+    Every field is length-prefixed so the encoding is injective — without
+    the prefixes, ``("ab", [1, 2])`` and ``("a", [0x62, 1, 2])`` would
+    hash identically, and a collision here makes a pool skip a needed
+    swap and serve the wrong resident reference.
+    """
     h = hashlib.blake2b(digest_size=16)
     for name, codes in records:
-        h.update(str(name).encode())
-        h.update(np.ascontiguousarray(codes, dtype=np.uint8).tobytes())
-        h.update(b"\x00")
+        name_bytes = str(name).encode()
+        code_bytes = np.ascontiguousarray(codes, dtype=np.uint8).tobytes()
+        h.update(len(name_bytes).to_bytes(8, "little"))
+        h.update(name_bytes)
+        h.update(len(code_bytes).to_bytes(8, "little"))
+        h.update(code_bytes)
     return h.hexdigest()
 
 

@@ -34,7 +34,7 @@ from repro.shard import (
     fingerprint_database,
     publish_records,
 )
-from repro.shard.shm import SEGMENT_PREFIX, attach_segment
+from repro.shard.shm import SEGMENT_PREFIX, attach_segment, fingerprint_records
 from repro.util.checks import ReproError
 from repro.util.encoding import encode
 from repro.workloads import FastaRecord, chunk_sequence, random_genome
@@ -44,6 +44,18 @@ from helpers import hit_keys, planted_instance
 
 def _shm_entries():
     return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+
+
+class _FailingSwapPayload:
+    """Swap payload whose worker-side attach always raises.
+
+    Module-level so it pickles across the command queue; the worker's
+    ``_attach`` finds the ``attach`` method and the raise surfaces as an
+    ``("error", ...)`` reply mid-swap.
+    """
+
+    def attach(self):
+        raise RuntimeError("injected swap failure")
 
 
 def _oracle_keys(per_query):
@@ -132,6 +144,24 @@ class TestSharedMemoryLifecycle:
         finally:
             seg.destroy()
 
+    def test_fingerprint_encoding_is_injective(self):
+        """Field boundaries must be hashed: shifting bytes between the
+        name and the codes (or between adjacent records) must change the
+        fingerprint, else a collision makes a pool skip a needed swap."""
+        import numpy as np
+
+        a = fingerprint_records((("ab", np.array([1, 2], dtype=np.uint8)),))
+        b = fingerprint_records((("a", np.array([0x62, 1, 2], dtype=np.uint8)),))
+        assert a != b
+        one = fingerprint_records((("r", np.array([1, 2, 3], dtype=np.uint8)),))
+        split = fingerprint_records(
+            (
+                ("r", np.array([1, 2], dtype=np.uint8)),
+                ("r", np.array([3], dtype=np.uint8)),
+            )
+        )
+        assert one != split
+
     def test_empty_records_publish_minimal_segment(self):
         seg = publish_records(())
         try:
@@ -213,6 +243,44 @@ class TestPoolLifecycle:
             assert pool.stats.swaps == 1
         assert hit_keys(before) == hit_keys(search_topk(queries1, ref1, k=3))
 
+    def test_failed_swap_breaks_pool_and_old_reference_survives(self, monkeypatch):
+        """A swap one worker fails must not leave a mixed-reference pool.
+
+        Workers that acked the swap sit on the new reference; the pool
+        keeps the old payloads.  The failure must break the pool so the
+        next call respawns everyone onto the old reference — results
+        after a failed swap match the old reference exactly, never a
+        merge across both.
+        """
+        import repro.shard.pool as pool_mod
+
+        ref1, queries, _ = planted_instance(8000, 3, 80, seed=71)
+        ref2, _, _ = planted_instance(9000, 3, 80, seed=72)
+        with ShardWorkerPool(ref1, plan=_plan(k=3), timeout=120) as pool:
+            first = pool.search_topk(queries)
+            entries_before = set(_shm_entries())
+            real_build = pool_mod.build_pool_payloads
+
+            def sabotage(database, plan):
+                payloads, segment, fingerprint = real_build(database, plan)
+                payloads[1] = _FailingSwapPayload()
+                return payloads, segment, fingerprint
+
+            monkeypatch.setattr(pool_mod, "build_pool_payloads", sabotage)
+            with pytest.raises(ShardWorkerError, match="injected swap failure"):
+                pool.swap_reference(ref2)
+            monkeypatch.undo()
+            # New segment destroyed, old one intact; pool still serves ref1.
+            assert set(_shm_entries()) == entries_before
+            assert pool.serves(fingerprint_database(ref1))
+            assert not pool.serves(fingerprint_database(ref2))
+            # Every worker respawns onto the old payloads: bit-identical
+            # to the pre-swap answer, no half-swapped worker surviving.
+            after = pool.search_topk(queries)
+            assert pool.stats.respawns == pool.num_shards
+            assert hit_keys(after) == hit_keys(first)
+            assert hit_keys(after) == hit_keys(search_topk(queries, ref1, k=3))
+
     def test_ping_and_report(self):
         ref, _, _ = planted_instance(4000, 2, 80, seed=59)
         with ShardWorkerPool(ref, plan=_plan(), timeout=120) as pool:
@@ -269,7 +337,9 @@ class TestPoolReuse:
             pool._procs[1].join()
             second = pool.search_topk(queries)  # must not wedge
             assert hit_keys(second) == hit_keys(first)
-            assert pool.stats.respawns == 1
+            # Healing is all-or-nothing (the shared result queue is
+            # rebuilt, so every worker respawns, not just the dead one).
+            assert pool.stats.respawns == pool.num_shards
             assert pool.stats.last_run.warm is False  # respawn = cold again
             third = pool.search_topk(queries)
             assert hit_keys(third) == hit_keys(first)
