@@ -131,6 +131,8 @@ def _run_comparison(report, name, ref_len, count, qlen, min_speedup):
                 "band_vs_full": run_b.stats.cells_skipped_band,
                 "anchor_vs_extent": cells_a - cells_b,
             },
+            "bar_enforced": bool(min_speedup),
+            "min_speedup": min_speedup,
         },
     )
     if min_speedup:

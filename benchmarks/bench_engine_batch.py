@@ -89,6 +89,8 @@ def test_engine_beats_sequential_loop(report):
             "engine_s_by_workers": {str(k): v for k, v in by_workers.items()},
             "best_speedup": t_seq / t_best,
             "best_gcups": cells / t_best / 1e9,
+            "bar_enforced": True,
+            "min_speedup": 1.0,
         },
     )
     # Acceptance: engine batching is measurably faster than the seed loop.

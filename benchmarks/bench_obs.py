@@ -1,0 +1,179 @@
+"""Observability overhead: the instrumented search pipeline, three ways.
+
+The tracing/metrics instrumentation (``repro.obs``) rides the hottest
+paths in the repo — pipeline stages, the serving front, the shard pool —
+so its cost when *disabled* must be a bool check, and its cost when
+*enabled* must stay small enough to leave on in production-style runs.
+This bench runs the ``bench_search`` workload (streaming search: seed
+prefilter + banded verify + top-K) in three modes:
+
+1. **off** — tracing disabled and the metrics registry disabled: the
+   baseline, paying only the ``enabled`` guard checks;
+2. **metrics** — registry enabled, tracing disabled (the always-on
+   production posture): bar ≤ 5 % over baseline;
+3. **trace** — registry *and* tracer enabled, every stage span recorded:
+   bar ≤ 15 % over baseline.
+
+Each mode takes the **min over repeats** (the mode's noise floor), and
+every mode's top-K must be bit-identical to the baseline's — observation
+must never change the result.  Emits ``BENCH_obs.json``.
+
+``-k smoke`` selects the tiny CI variant (same bars, smaller workload).
+"""
+
+import time
+
+from repro.engine import ExecutionEngine, PlanCache
+from repro.obs import disable_tracing, enable_tracing, get_registry, get_tracer
+from repro.perf import format_table
+from repro.search import default_search_scheme, search
+from repro.util.rng import make_rng
+from repro.workloads import MutationModel, mutate, random_genome
+
+
+def _workload(ref_len, count, qlen, seed=97, divergence=0.03):
+    rng = make_rng(seed)
+    ref = random_genome(ref_len, seed=rng)
+    positions = rng.integers(0, ref.size - qlen, count)
+    model = MutationModel(
+        substitution=divergence, insertion=0.001, deletion=0.001, indel_mean=2.0
+    )
+    queries = [mutate(ref[p : p + qlen], model, seed=rng) for p in positions]
+    return ref, queries
+
+
+def _topk_key(topk):
+    return [[(h.chunk_id, h.start, h.end, h.score) for h in hits] for hits in topk]
+
+
+def _run_mode(queries, ref, *, window, min_score, repeats):
+    """Min-of-repeats wall time for one search pass; returns (s, topk)."""
+    scheme = default_search_scheme()
+    best, topk = None, None
+    for _ in range(repeats):
+        with ExecutionEngine(scheme, backend="rowscan", plan_cache=PlanCache()) as eng:
+            # Warm the plan/kernel caches so mode 1 doesn't eat the
+            # compilation that modes 2-3 then get for free.
+            eng.submit_batch(queries[:2], [ref[:window], ref[:window]])
+            t0 = time.perf_counter()
+            run = search(
+                queries, ref, k=3, window=window, min_score=min_score, engine=eng
+            )
+            out = run.topk()
+            dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best, topk = dt, out
+    return best, topk
+
+
+def _run_comparison(report, name, ref_len, count, qlen, repeats,
+                    metrics_bar, trace_bar):
+    ref, queries = _workload(ref_len, count, qlen)
+    window, min_score = 2 * qlen, int(2 * qlen * 0.8)
+    reg = get_registry()
+    tracer = get_tracer()
+    reg_was, trace_was = reg.enabled, tracer.enabled
+
+    try:
+        # Mode 1: everything off — the disabled-path baseline.
+        disable_tracing()
+        reg.enabled = False
+        t_off, topk_off = _run_mode(
+            queries, ref, window=window, min_score=min_score, repeats=repeats
+        )
+
+        # Mode 2: metrics on, tracing off (production posture).
+        reg.enabled = True
+        t_metrics, topk_metrics = _run_mode(
+            queries, ref, window=window, min_score=min_score, repeats=repeats
+        )
+
+        # Mode 3: metrics + tracing on, stage spans recorded.
+        enable_tracing(capacity=65536)
+        t_trace, topk_trace = _run_mode(
+            queries, ref, window=window, min_score=min_score, repeats=repeats
+        )
+        spans_recorded = len(get_tracer().spans())
+        metric_series = sum(len(v["series"]) for v in reg.as_dict().values())
+    finally:
+        get_tracer().clear()
+        disable_tracing()
+        reg.enabled = reg_was
+        if trace_was:
+            enable_tracing()
+
+    # Observation must never change the answer.
+    oracle = _topk_key(topk_off)
+    assert _topk_key(topk_metrics) == oracle, "metrics mode changed the top-K"
+    assert _topk_key(topk_trace) == oracle, "tracing mode changed the top-K"
+
+    metrics_overhead = t_metrics / t_off - 1.0
+    trace_overhead = t_trace / t_off - 1.0
+    table = format_table(
+        ("mode", "s (min of repeats)", "overhead", "bar"),
+        [
+            ("off (baseline)", f"{t_off:7.3f}", "-", "-"),
+            (
+                "metrics on, trace off",
+                f"{t_metrics:7.3f}",
+                f"{100 * metrics_overhead:+.1f}%",
+                f"<= {100 * metrics_bar:.0f}%",
+            ),
+            (
+                "metrics + trace on",
+                f"{t_trace:7.3f}",
+                f"{100 * trace_overhead:+.1f}%",
+                f"<= {100 * trace_bar:.0f}%",
+            ),
+        ],
+        title=(
+            f"Observability overhead: {count} queries ({qlen} bp) vs "
+            f"{ref_len:,} bp reference, {repeats} repeats"
+        ),
+    )
+    report(
+        name,
+        table,
+        data={
+            "ref_len": ref_len,
+            "queries": count,
+            "query_len": qlen,
+            "repeats": repeats,
+            "off_s": t_off,
+            "metrics_s": t_metrics,
+            "trace_s": t_trace,
+            "metrics_overhead": metrics_overhead,
+            "trace_overhead": trace_overhead,
+            "metrics_bar": metrics_bar,
+            "trace_bar": trace_bar,
+            "spans_recorded": spans_recorded,
+            "metric_series": metric_series,
+            "bit_identical": True,
+            "bar_enforced": True,
+        },
+    )
+    assert metrics_overhead <= metrics_bar, (
+        f"metrics-only overhead {100 * metrics_overhead:.1f}% exceeds the "
+        f"{100 * metrics_bar:.0f}% bar (tracing disabled must stay nearly free)"
+    )
+    assert trace_overhead <= trace_bar, (
+        f"tracing overhead {100 * trace_overhead:.1f}% exceeds the "
+        f"{100 * trace_bar:.0f}% bar"
+    )
+
+
+def test_obs_overhead(report):
+    """Acceptance: ≤5% overhead with tracing disabled, ≤15% enabled."""
+    _run_comparison(
+        report, "obs", ref_len=100_000, count=48, qlen=120, repeats=3,
+        metrics_bar=0.05, trace_bar=0.15,
+    )
+
+
+def test_obs_overhead_smoke(report):
+    """Tiny CI variant: same disabled-path bar; the tracing bar is
+    loosened because per-span fixed costs dominate a ~40 ms workload."""
+    _run_comparison(
+        report, "obs_smoke", ref_len=20_000, count=12, qlen=80, repeats=5,
+        metrics_bar=0.05, trace_bar=0.25,
+    )

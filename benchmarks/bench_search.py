@@ -68,6 +68,7 @@ def _run_comparison(report, name, ref_len, count, qlen, min_speedup):
 
     st = run.stats
     speedup = t_full / t_search
+    bar_enforced = min_speedup is not None
     table = format_table(
         ("path", "s", "pairs scored", "cells", "speedup"),
         [
@@ -106,11 +107,14 @@ def _run_comparison(report, name, ref_len, count, qlen, min_speedup):
             "cells_skipped_prefilter": st.cells_skipped_prefilter,
             "cells_skipped_band": st.cells_skipped_band,
             "gcups": st.gcups,
+            "bar_enforced": bar_enforced,
+            "min_speedup": min_speedup,
         },
     )
-    assert speedup >= min_speedup, (
-        f"search pipeline only {speedup:.1f}x over full DP (need {min_speedup}x)"
-    )
+    if bar_enforced:
+        assert speedup >= min_speedup, (
+            f"search pipeline only {speedup:.1f}x over full DP (need {min_speedup}x)"
+        )
 
 
 def test_search_beats_full_dp(report):

@@ -97,6 +97,7 @@ def _run_comparison(report, name, count, min_speedup, open_rate):
     assert mb_scores == direct, "micro-batched responses diverge from direct engine"
 
     speedup = base_s / mb_s
+    bar_enforced = min_speedup is not None
     table = format_table(
         ("serving mode", "s", "req/s", "batches", "mean occ", "p99 ms", "speedup"),
         [
@@ -154,12 +155,15 @@ def _run_comparison(report, name, count, min_speedup, open_rate):
             "open_loop_p50_ms": open_snap["latency_p50_ms"],
             "open_loop_p99_ms": open_snap["latency_p99_ms"],
             "open_loop_mean_occupancy": open_snap["mean_occupancy"],
+            "bar_enforced": bar_enforced,
+            "min_speedup": min_speedup,
         },
     )
-    assert speedup >= min_speedup, (
-        f"micro-batched serving only {speedup:.1f}x over immediate dispatch "
-        f"(need {min_speedup}x)"
-    )
+    if bar_enforced:
+        assert speedup >= min_speedup, (
+            f"micro-batched serving only {speedup:.1f}x over immediate dispatch "
+            f"(need {min_speedup}x)"
+        )
 
 
 def test_serve_beats_immediate_dispatch(report):

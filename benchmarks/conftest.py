@@ -8,11 +8,19 @@ timing table and the reproduction tables in the transcript.
 Benches that also pass ``data=`` persist a machine-readable
 ``BENCH_<name>.json`` next to the text table, so the perf trajectory is
 tracked PR-over-PR (CI archives the files; diffs show regressions).
+Every JSON document is stamped with a ``host`` block (cores, platform,
+python, git sha, timestamp), so archived numbers stay interpretable when
+compared across machines and revisions.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import platform
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -20,18 +28,52 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _git_sha() -> str:
+    """Revision of the benched tree (env override for CI checkouts)."""
+    sha = os.environ.get("BENCH_GIT_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def host_metadata() -> dict:
+    """Provenance block stamped into every ``BENCH_*.json``."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "git_sha": _git_sha(),
+        "timestamp": os.environ.get("BENCH_TIMESTAMP")
+        or datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
 @pytest.fixture
 def report(capsys):
     """Callable fixture: report(name, text, data=None).
 
     Persists and prints the table; ``data`` (a JSON-serializable dict)
-    additionally lands in ``results/BENCH_<name>.json``.
+    additionally lands in ``results/BENCH_<name>.json``, stamped with the
+    ``host`` provenance block.
     """
 
     def _report(name: str, text: str, data: dict | None = None):
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         if data is not None:
+            data = dict(data)
+            data.setdefault("host", host_metadata())
             (RESULTS_DIR / f"BENCH_{name}.json").write_text(
                 json.dumps(data, indent=2, sort_keys=True) + "\n"
             )

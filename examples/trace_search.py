@@ -1,0 +1,84 @@
+"""One stitched trace of a sharded search, exported as Chrome trace JSON.
+
+Enables the cross-layer tracer, runs a query set against a resident
+:class:`ShardWorkerPool` (worker processes holding the reference in
+shared memory), and exports every span — client call, pool fan-out,
+per-shard command round trips, and the workers' own seed/verify/reduce
+stages, shipped back over the reply queue and aligned onto the parent's
+clock — as one Chrome ``trace_event`` document.  Load the JSON in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; the plain-
+text span tree and the Prometheus metrics are printed to the terminal.
+
+    python examples/trace_search.py
+    python examples/trace_search.py --ref-length 30000 --queries 8 --shards 2
+    python examples/trace_search.py --out my_trace.json
+"""
+
+import argparse
+import json
+
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.perf.report import trace_tree
+from repro.shard import ShardWorkerPool
+from repro.util.rng import make_rng
+from repro.workloads import MutationModel, mutate, random_genome
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--ref-length", type=int, default=120_000, help="reference bp")
+    ap.add_argument("--queries", type=int, default=16, help="number of queries")
+    ap.add_argument("--read-length", type=int, default=120, help="query bp")
+    ap.add_argument("--shards", type=int, default=2, help="worker processes")
+    ap.add_argument("--top", type=int, default=5, help="hits kept per query")
+    ap.add_argument("--seed", type=int, default=4321)
+    ap.add_argument("--out", default="trace_search.json", help="trace JSON path")
+    args = ap.parse_args()
+
+    rng = make_rng(args.seed)
+    ref = random_genome(args.ref_length, seed=rng)
+    positions = rng.integers(0, ref.size - args.read_length, args.queries)
+    model = MutationModel(
+        substitution=0.03, insertion=0.002, deletion=0.002, indel_mean=2.0
+    )
+    queries = [
+        mutate(ref[p : p + args.read_length], model, seed=rng) for p in positions
+    ]
+    print(f"reference: {args.ref_length:,} bp, {args.queries} queries, "
+          f"{args.shards} shard workers\n")
+
+    tracer = enable_tracing(capacity=65536)
+    tracer.clear()
+    with ShardWorkerPool(ref, num_shards=args.shards, k=args.top,
+                         timeout=900) as pool:
+        pool.ping()  # round-trip probe: estimates each worker's clock offset
+        tracer.clear()  # keep the trace to the search itself
+        with tracer.span("client.search", queries=args.queries):
+            topk = pool.search_topk(queries)
+    disable_tracing()
+
+    hits = sum(len(h) for h in topk)
+    spans = tracer.spans()
+    doc = to_chrome_trace(spans)
+    summary = validate_chrome_trace(
+        doc, require_worker_process=True, require_single_trace=True
+    )
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1)
+    print(f"search found {hits} hits across {args.queries} queries")
+    print(f"trace: {summary['spans']} spans from {summary['processes']} "
+          f"processes, {summary['traces']} trace, {summary['roots']} root")
+    print(f"wrote {args.out} — load it in Perfetto or chrome://tracing\n")
+    print(trace_tree(spans, title="Span tree"))
+    print("\nMetrics (Prometheus exposition):\n")
+    print(get_registry().to_prometheus())
+
+
+if __name__ == "__main__":
+    main()

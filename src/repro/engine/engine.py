@@ -216,6 +216,8 @@ class ExecutionEngine:
         batcher=None,
         max_in_flight: int | None = None,
         stats: PipelineStats | None = None,
+        trace_name: str = "pipeline",
+        stage_names: dict | None = None,
     ) -> StreamPipeline:
         """Assemble a :class:`StreamPipeline` on this engine's executor.
 
@@ -223,7 +225,8 @@ class ExecutionEngine:
         batcher; callers supply the source, the executor stage (e.g. a
         :class:`~repro.engine.executor.PlanExecutorStage` from
         :meth:`plan_for`, or the banded verify stage of
-        :mod:`repro.search`), and the reducer.
+        :mod:`repro.search`), and the reducer.  ``trace_name`` /
+        ``stage_names`` label the pipeline's spans and metric series.
         """
         return StreamPipeline(
             source,
@@ -234,6 +237,8 @@ class ExecutionEngine:
             executor=self.executor,
             max_in_flight=max_in_flight if max_in_flight is not None else self.max_in_flight,
             stats=stats,
+            trace_name=trace_name,
+            stage_names=stage_names,
         )
 
     def _score_pipeline(self, plan, requests, out: np.ndarray) -> PipelineStats:

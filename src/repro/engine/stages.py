@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.obs import get_registry, get_tracer
 from repro.util.checks import check_positive
 
 __all__ = [
@@ -171,6 +172,9 @@ class StageStats:
         self.calls += other.calls
         self.items += other.items
 
+    def as_dict(self) -> dict:
+        return {"seconds": self.seconds, "calls": self.calls, "items": self.items}
+
 
 @dataclass
 class PipelineStats:
@@ -210,22 +214,35 @@ class PipelineStats:
     def merge(self, other: "PipelineStats"):
         for name, st in other.stages.items():
             self.stages.setdefault(name, StageStats()).merge(st)
-        for f in (
-            "items_in",
-            "candidates",
-            "admitted",
-            "rejected",
-            "batches",
-            "lane_blocks",
-            "scalar_pops",
-            "pairs",
-            "cells_computed",
-            "cells_skipped_band",
-            "cells_skipped_prefilter",
-            "flushes",
-        ):
+        for f in _PIPELINE_COUNTER_FIELDS:
             setattr(self, f, getattr(self, f) + getattr(other, f))
         self.max_buffered = max(self.max_buffered, other.max_buffered)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for `perf.report.snapshot` / bench artifacts."""
+        d = {f: getattr(self, f) for f in _PIPELINE_COUNTER_FIELDS}
+        d["max_buffered"] = self.max_buffered
+        d["rejection_rate"] = self.rejection_rate
+        d["gcups"] = self.gcups
+        d["stages"] = {name: st.as_dict() for name, st in self.stages.items()}
+        return d
+
+
+#: Additive PipelineStats fields (merge + metrics deltas read this).
+_PIPELINE_COUNTER_FIELDS = (
+    "items_in",
+    "candidates",
+    "admitted",
+    "rejected",
+    "batches",
+    "lane_blocks",
+    "scalar_pops",
+    "pairs",
+    "cells_computed",
+    "cells_skipped_band",
+    "cells_skipped_prefilter",
+    "flushes",
+)
 
 
 class _Immediate:
@@ -299,6 +316,8 @@ class StreamPipeline:
         max_in_flight: int = 4096,
         max_outstanding: int | None = None,
         stats: PipelineStats | None = None,
+        trace_name: str = "pipeline",
+        stage_names: dict | None = None,
     ):
         self.source = source
         self.batcher = batcher
@@ -313,6 +332,15 @@ class StreamPipeline:
         self.max_outstanding = check_positive(max_outstanding, "max_outstanding")
         self.parallel = executor is not None and workers > 1
         self.stats = stats if stats is not None else PipelineStats()
+        # Observability: trace_name labels the root span and every metric
+        # series; stage_names maps generic stage slots to domain terms
+        # (search passes prefilter→seed, execute→verify).
+        self.trace_name = trace_name
+        names = {"prefilter": "prefilter", "execute": "execute", "reduce": "reduce"}
+        if stage_names:
+            names.update(stage_names)
+        self._span_names = names
+        self._run_ctx = None  # SpanContext of the open root span, for threads
 
     # Executed on pool workers: must only touch stats under the lock.
     def _timed_execute(self, batch: Batch) -> np.ndarray:
@@ -329,6 +357,25 @@ class StreamPipeline:
             st.stages["execute"].add(dt, len(batch))
             st.cells_computed += computed
             st.cells_skipped_band += skipped
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Pool worker threads do not inherit the contextvar; parent on
+            # the root-span context captured when the run opened.
+            tracer.record_span(
+                self._span_names["execute"],
+                dt,
+                parent=self._run_ctx,
+                batch=len(batch),
+                shape=list(batch.shape),
+                cells=computed,
+            )
+        reg = get_registry()
+        if reg.enabled:
+            reg.histogram(
+                "pipeline_stage_seconds",
+                "Per-batch stage wall time",
+                labels=("pipeline", "stage"),
+            ).observe(dt, pipeline=self.trace_name, stage=self._span_names["execute"])
         return scores
 
     def run(self) -> Iterator[object]:
@@ -337,7 +384,34 @@ class StreamPipeline:
             from repro.util.checks import ReproError
 
             raise ReproError("executor is closed")
+        tracer = get_tracer()
+        if not tracer.enabled:
+            yield from self._drive(tracer)
+            return
+        with tracer.span(self.trace_name, parallel=self.parallel) as root:
+            self._run_ctx = root.context
+            try:
+                yield from self._drive(tracer)
+                root.set(
+                    pairs=self.stats.pairs,
+                    batches=self.stats.batches,
+                    cells=self.stats.cells_computed,
+                )
+            finally:
+                self._run_ctx = None
+
+    def _drive(self, tracer) -> Iterator[object]:
         st = self.stats
+        reg = get_registry()
+        if reg.enabled:
+            base = {f: getattr(st, f) for f in _PIPELINE_COUNTER_FIELDS}
+            depth_gauge = reg.gauge(
+                "pipeline_buffered_requests",
+                "Requests currently buffered in the batcher (backpressure queue depth)",
+                labels=("pipeline",),
+            )
+        else:
+            base = depth_gauge = None
         pending: deque = deque()  # (batch, future) in submission order
 
         def submit(batch: Batch):
@@ -361,7 +435,12 @@ class StreamPipeline:
                 scores = fut.result()
                 t0 = time.perf_counter()
                 emitted = list(self.reducer.consume(batch, scores))
-                st.stages["reduce"].add(time.perf_counter() - t0, len(batch))
+                dt = time.perf_counter() - t0
+                st.stages["reduce"].add(dt, len(batch))
+                if tracer.enabled:
+                    tracer.record_span(
+                        self._span_names["reduce"], dt, batch=len(batch)
+                    )
                 yield from emitted
 
         it = iter(self.source)
@@ -377,7 +456,12 @@ class StreamPipeline:
             if self.prefilter is not None:
                 t0 = time.perf_counter()
                 requests = list(self.prefilter.expand(item))
-                st.stages["prefilter"].add(time.perf_counter() - t0, len(requests))
+                dt = time.perf_counter() - t0
+                st.stages["prefilter"].add(dt, len(requests))
+                if tracer.enabled:
+                    tracer.record_span(
+                        self._span_names["prefilter"], dt, admitted=len(requests)
+                    )
             else:
                 requests = (item,)
             for req in requests:
@@ -392,6 +476,8 @@ class StreamPipeline:
                 buffered = self.batcher.pending
                 if buffered > st.max_buffered:
                     st.max_buffered = buffered
+                if depth_gauge is not None:
+                    depth_gauge.set(buffered, pipeline=self.trace_name)
                 if buffered >= self.max_in_flight:
                     st.flushes += 1
                     for batch in self.batcher.flush():
@@ -405,6 +491,46 @@ class StreamPipeline:
         st.stages["reduce"].add(time.perf_counter() - t0, 0)
         yield from tail
         self._sync_prefilter()
+        if base is not None:
+            self._record_metrics(reg, base)
+
+    def _record_metrics(self, reg, base: dict):
+        """Fold this run's PipelineStats delta into the metrics registry.
+
+        Deltas (not absolutes) so shared/merged stats objects and repeated
+        runs never double-count.
+        """
+        st = self.stats
+        d = {f: getattr(st, f) - base[f] for f in _PIPELINE_COUNTER_FIELDS}
+        label = self.trace_name
+        req = reg.counter(
+            "pipeline_requests_total",
+            "Prefilter dispositions of candidate requests",
+            labels=("pipeline", "disposition"),
+        )
+        req.inc(d["admitted"], pipeline=label, disposition="admitted")
+        req.inc(d["rejected"], pipeline=label, disposition="rejected")
+        reg.counter(
+            "pipeline_pairs_total", "Requests executed", labels=("pipeline",)
+        ).inc(d["pairs"], pipeline=label)
+        reg.counter(
+            "pipeline_batches_total", "Batches executed", labels=("pipeline",)
+        ).inc(d["batches"], pipeline=label)
+        cells = reg.counter(
+            "pipeline_cells_total",
+            "DP cells relaxed or skipped, by cause",
+            labels=("pipeline", "kind"),
+        )
+        cells.inc(d["cells_computed"], pipeline=label, kind="computed")
+        cells.inc(d["cells_skipped_band"], pipeline=label, kind="skipped_band")
+        cells.inc(
+            d["cells_skipped_prefilter"], pipeline=label, kind="skipped_prefilter"
+        )
+        reg.counter(
+            "pipeline_flushes_total",
+            "Backpressure-forced batcher flushes",
+            labels=("pipeline",),
+        ).inc(d["flushes"], pipeline=label)
 
     def drain(self) -> PipelineStats:
         """Run to completion discarding emissions; returns the stats."""

@@ -1,0 +1,54 @@
+"""Observability substrate: span tracing + metrics for every layer.
+
+Two halves, both cheap enough to ship in the serving path:
+
+* :mod:`repro.obs.trace` — a span tracer with ``contextvars`` ambient
+  propagation, explicit carrier dicts for thread/process hops, a bounded
+  ring collector, and Chrome ``trace_event`` export.  Off by default;
+  the disabled path allocates nothing.
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and fixed-bucket histograms with labeled series, snapshot/diff/merge
+  composition across processes, and Prometheus/JSON export.  On by
+  default (plain dict increments); ``get_registry().enabled = False``
+  short-circuits recording for overhead measurement.
+
+The four serving layers (engine stages, search pipeline, asyncio
+service, shard pool/router) are instrumented against the two
+process-wide defaults, :func:`get_tracer` and :func:`get_registry`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    ClockOffset,
+    Span,
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ClockOffset",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -11,6 +11,8 @@ from repro.perf.report import (
     router_stats_table,
     service_stats_table,
     shard_stats_table,
+    snapshot,
+    trace_tree,
 )
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "router_stats_table",
     "service_stats_table",
     "shard_stats_table",
+    "snapshot",
+    "trace_tree",
     "Measurement",
     "measure_gcups",
     "DEVICE_POWER",

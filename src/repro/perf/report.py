@@ -20,6 +20,8 @@ __all__ = [
     "shard_stats_table",
     "pool_stats_table",
     "router_stats_table",
+    "trace_tree",
+    "snapshot",
     "CodeSharing",
 ]
 
@@ -343,6 +345,88 @@ def router_stats_table(router, title: str = "Shard router") -> str:
     if pool is not None:
         out += "\n\n" + pool_stats_table(pool, title="Resident search pool")
     return out
+
+
+def trace_tree(spans, title: str = "Trace") -> str:
+    """Plain-text tree of one (or several) traces' span hierarchies.
+
+    ``spans`` is an iterable of :class:`repro.obs.Span` (e.g. from
+    :meth:`repro.obs.Tracer.spans`).  Each root is rendered with its
+    descendants indented beneath it, siblings in start order; every row
+    shows the span's process, duration, and the offset of its start from
+    the root's start — a text-mode cousin of the Chrome ``trace_event``
+    export for terminals and logs.
+    """
+    spans = list(spans)
+    if not spans:
+        return f"{title}\n{'=' * len(title)}\n(no spans)"
+    by_id = {s.span_id: s for s in spans}
+    children: dict = {}
+    roots = []
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: s.start_us)
+    roots.sort(key=lambda s: s.start_us)
+
+    lines = [title, "=" * len(title)]
+
+    def render(span, depth, origin_us):
+        indent = "  " * depth
+        offset_ms = (span.start_us - origin_us) / 1e3
+        lines.append(
+            f"{indent}{span.name}  [{span.process}]  "
+            f"+{offset_ms:.3f}ms  {span.dur_us / 1e3:.3f}ms"
+        )
+        for kid in children.get(span.span_id, ()):
+            render(kid, depth + 1, origin_us)
+
+    for root in roots:
+        render(root, 0, root.start_us)
+    return "\n".join(lines)
+
+
+def snapshot(
+    *,
+    pipelines=None,
+    services=None,
+    routers=None,
+    pools=None,
+    shard_runs=None,
+    registry=None,
+    tracer=None,
+) -> dict:
+    """One JSON document aggregating every layer's stats with the registry.
+
+    Each keyword takes an iterable of the corresponding stats holders (or
+    objects exposing ``.stats``): pipeline/stage tables, serving fronts,
+    routers, worker pools, and sharded-run summaries.  ``registry``
+    defaults to the process-wide :func:`repro.obs.get_registry`;
+    ``tracer`` (optional) contributes the finished-span count and the
+    rendered trace tree.  The result is ``json.dumps``-ready — the single
+    exportable telemetry document for bench files and debugging dumps.
+    """
+    from repro.obs import get_registry
+
+    def stats_of(obj):
+        stats = getattr(obj, "stats", obj)
+        return stats.as_dict() if hasattr(stats, "as_dict") else stats.snapshot()
+
+    doc: dict = {
+        "pipelines": [stats_of(p) for p in (pipelines or ())],
+        "services": [stats_of(s) for s in (services or ())],
+        "routers": [stats_of(r) for r in (routers or ())],
+        "pools": [stats_of(p) for p in (pools or ())],
+        "shard_runs": [stats_of(r) for r in (shard_runs or ())],
+    }
+    doc["metrics"] = (registry or get_registry()).as_dict()
+    if tracer is not None:
+        spans = tracer.spans()
+        doc["trace"] = {"spans": len(spans), "tree": trace_tree(spans)}
+    return doc
 
 
 #: Subsystem classification: which top-level repro subpackages are

@@ -313,6 +313,25 @@ class SearchRun:
         self._owned_engine = owned_engine
         self._iter = pipeline.run()
         self._exhausted = False
+        self._metrics_done = False
+
+    def _finalize_obs(self):
+        """Search-level counters, once per run, on stream exhaustion."""
+        if self._metrics_done:
+            return
+        self._metrics_done = True
+        from repro.obs import get_registry
+
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        reg.counter("search_runs_total", "Completed search runs").inc()
+        reg.counter(
+            "search_hits_total", "Hits retained across final top-K lists"
+        ).inc(sum(len(hits) for hits in self.reducer.results()))
+        reg.counter(
+            "search_queries_total", "Queries answered by search runs"
+        ).inc(len(self.queries))
 
     @property
     def stats(self) -> PipelineStats:
@@ -340,6 +359,7 @@ class SearchRun:
         except StopIteration:
             self._exhausted = True
             self.close()
+            self._finalize_obs()
             raise
 
     def topk(self) -> list[list[Hit]]:
@@ -349,6 +369,7 @@ class SearchRun:
                 pass
             self._exhausted = True
             self.close()
+            self._finalize_obs()
         return self.reducer.results()
 
     def report(self) -> str:
@@ -513,6 +534,10 @@ def search(
         stage=stage,
         reducer=reducer,
         max_in_flight=max_in_flight,
+        # Observability: the generic pipeline stages are, for a search,
+        # the seed prefilter and the (banded) verify executor.
+        trace_name="search",
+        stage_names={"prefilter": "seed", "execute": "verify"},
     )
     return SearchRun(pipe, reducer, index.queries, owned_engine=owned_engine)
 

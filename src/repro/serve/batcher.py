@@ -64,6 +64,7 @@ class PendingRequest:
     deadline: float | None = None
     submitted: float = 0.0
     meta: dict | None = None  # kind-private context (search kwargs, ...)
+    trace: dict | None = None  # propagated span carrier (obs.trace)
 
     @property
     def shape(self) -> tuple[int, int]:

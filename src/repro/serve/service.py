@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 from repro.engine.engine import ExecutionEngine
 from repro.engine.stages import Batch, Request
+from repro.obs import get_tracer
 from repro.serve.batcher import MicroBatcher, PendingRequest, Priority
 from repro.serve.stats import ServiceStats
 from repro.util.checks import ReproError, check_positive
@@ -333,17 +334,23 @@ class AlignmentService:
         self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
     ) -> int:
         """Score one pair; resolves when its micro-batch completes."""
-        req = self._admit("score", query, subject, priority, timeout)
-        self._enqueue(req)
-        return await req.future
+        tracer = get_tracer()
+        with tracer.span("serve.submit", kind="score"):
+            req = self._admit("score", query, subject, priority, timeout)
+            req.trace = tracer.inject()
+            self._enqueue(req)
+            return await req.future
 
     async def submit_align(
         self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
     ):
         """Full alignment (traceback) for one pair, micro-batched pair-parallel."""
-        req = self._admit("align", query, subject, priority, timeout)
-        self._enqueue(req)
-        return await req.future
+        tracer = get_tracer()
+        with tracer.span("serve.submit", kind="align"):
+            req = self._admit("align", query, subject, priority, timeout)
+            req.trace = tracer.inject()
+            self._enqueue(req)
+            return await req.future
 
     async def submit_search(
         self,
@@ -373,11 +380,14 @@ class AlignmentService:
             )
         meta = dict(self._search_kwargs)
         meta.update(overrides)
-        req = self._admit("search", query, None, priority, timeout, meta=meta)
-        task = self._loop.create_task(self._run_search(req))
-        self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
-        return await req.future
+        tracer = get_tracer()
+        with tracer.span("serve.submit_search"):
+            req = self._admit("search", query, None, priority, timeout, meta=meta)
+            req.trace = tracer.inject()
+            task = self._loop.create_task(self._run_search(req))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            return await req.future
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, bucket, cause: str):
@@ -403,13 +413,16 @@ class AlignmentService:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    def _execute_kind(self, kind: str, shape, live: list):
+    def _execute_kind(self, kind: str, shape, live: list, trace_ctx=None):
         """Runs on a dispatch thread: final deadline gate, then the kernels.
 
         Dispatch-time admission is not enough under pool saturation — a
         batch can sit in the thread queue past its members' deadlines, and
         the contract is that such requests never execute.  Returns
         ``(executable, expired, results)``; results align with executable.
+        ``trace_ctx`` is the dispatching batch span's context — dispatch
+        threads don't inherit the loop's contextvars, so the parent link
+        crosses explicitly.
         """
         now = self._loop.time()  # same monotonic clock the deadlines use
         executable, expired = [], []
@@ -420,29 +433,43 @@ class AlignmentService:
                 executable.append(r)
         if not executable:
             return executable, expired, ()
-        if kind == "score":
-            batch = Batch(
-                shape=shape,
-                requests=[
-                    Request(key=i, query=r.query, subject=r.subject)
-                    for i, r in enumerate(executable)
-                ],
-            )
-            backend = self.config.backend_for(
-                len(executable), self.batcher.target_batch
-            )
-            results = self.engine.submit_prebatched(batch, backend=backend)
-        else:  # align
-            results = self.engine.align_batch(
-                [r.query for r in executable], [r.subject for r in executable]
-            )
+        tracer = get_tracer()
+        with tracer.activate(trace_ctx), tracer.span(
+            "serve.execute", kind=kind, size=len(executable)
+        ):
+            if kind == "score":
+                batch = Batch(
+                    shape=shape,
+                    requests=[
+                        Request(key=i, query=r.query, subject=r.subject)
+                        for i, r in enumerate(executable)
+                    ],
+                )
+                backend = self.config.backend_for(
+                    len(executable), self.batcher.target_batch
+                )
+                results = self.engine.submit_prebatched(batch, backend=backend)
+            else:  # align
+                results = self.engine.align_batch(
+                    [r.query for r in executable], [r.subject for r in executable]
+                )
         return executable, expired, results
 
     async def _run_batch(self, kind: str, shape, live: list, cause: str):
+        tracer = get_tracer()
+        # Micro-batches mix requests (and traces); parent the batch span on
+        # the first carrier so at least one stitched trace reaches the
+        # worker side.  Other requests keep their own root spans.
+        parent = None
+        if tracer.enabled:
+            parent = next((r.trace for r in live if r.trace is not None), None)
         try:
-            executable, expired, results = await self._loop.run_in_executor(
-                self._pool, self._execute_kind, kind, shape, live
-            )
+            with tracer.span(
+                "serve.batch", parent=parent, kind=kind, cause=cause, size=len(live)
+            ) as sp:
+                executable, expired, results = await self._loop.run_in_executor(
+                    self._pool, self._execute_kind, kind, shape, live, sp.context
+                )
         except Exception as exc:
             for r in live:
                 self.stats.note_failed()
@@ -476,13 +503,20 @@ class AlignmentService:
         return eng
 
     def _execute_search(self, req: PendingRequest, engine, kwargs):
-        """Runs on a dispatch thread: deadline gate, then the search."""
+        """Runs on a dispatch thread: deadline gate, then the search.
+
+        The request's propagated carrier re-enters the trace here, so the
+        search pipeline's spans nest under the ``submit_search`` span even
+        though the thread never saw the loop's contextvars.
+        """
         from repro.search.pipeline import search_one
 
         now = self._loop.time()
         if req.deadline is not None and now >= req.deadline:
             return _EXPIRED
-        return search_one(req.query, self._database, engine=engine, **kwargs)
+        tracer = get_tracer()
+        with tracer.activate(req.trace), tracer.span("serve.execute_search"):
+            return search_one(req.query, self._database, engine=engine, **kwargs)
 
     async def _run_search(self, req: PendingRequest):
         from repro.search.pipeline import default_search_scheme

@@ -6,13 +6,23 @@ latencies (submission → resolution, a bounded reservoir so an unbounded
 service doesn't grow an unbounded sample) and the occupancy of every
 dispatched batch (how full the lanes actually were), plus the admission
 decisions — queue-depth high-water mark and rejection counts by cause.
-Rendered by :func:`repro.perf.report.service_stats_table`.
+
+Since the observability pass, the counter state lives in a private
+:class:`~repro.obs.metrics.MetricsRegistry` — ``stats.registry`` is
+scrapeable as Prometheus text or mergeable into a process-wide registry —
+while the historical attribute surface (``submitted``, ``rejected``,
+``occupancy``, ...) is preserved as views over it.  Only the latency
+reservoir (exact percentiles need the sample, not fixed buckets) and the
+queue high-water mark stay plain fields.  Rendered by
+:func:`repro.perf.report.service_stats_table`.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LatencyReservoir", "ServiceStats", "OCCUPANCY_EDGES"]
 
@@ -57,48 +67,64 @@ class ServiceStats:
     """Cumulative accounting of one :class:`~repro.serve.AlignmentService`.
 
     Thread-safe: the asyncio loop thread mutates it, sync-facade threads
-    read snapshots concurrently.
+    read snapshots concurrently.  Counters are backed by a private
+    metrics registry (``stats.registry``); the attribute surface below is
+    a read view over it, so existing callers and tests see the exact
+    values they always did.
     """
 
-    def __init__(self, latency_sample: int = 8192):
+    def __init__(self, latency_sample: int = 8192, registry: MetricsRegistry | None = None):
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.rejected: dict = {}  # cause → count (queue_full, deadline, closed)
-        self.batches = 0
-        self.batched_requests = 0
-        self.flush_causes: dict = {}  # size | linger | drain → count
-        self.occupancy: dict = {}  # exact batch size → count
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter("serve_submitted_total", "Requests admitted")
+        self._completed = r.counter("serve_completed_total", "Requests resolved OK")
+        self._failed = r.counter("serve_failed_total", "Requests resolved with errors")
+        self._rejected = r.counter(
+            "serve_rejected_total",
+            "Requests shed at admission or expiry, by cause",
+            labels=("cause",),
+        )
+        self._flushes = r.counter(
+            "serve_batch_flushes_total",
+            "Micro-batch dispatches, by flush cause",
+            labels=("cause",),
+        )
+        self._occupancy = r.counter(
+            "serve_batch_occupancy_total",
+            "Micro-batch dispatches, by exact batch size",
+            labels=("size",),
+        )
+        self._depth = r.gauge("serve_queue_depth", "Admission queue depth at last submit")
+        self._latency_hist = r.histogram(
+            "serve_latency_seconds", "Request latency, submission to resolution"
+        )
         self.queue_depth_hwm = 0
         self.latency = LatencyReservoir(latency_sample)
 
     # -- recording (loop thread) -------------------------------------------
     def note_submit(self, depth: int):
+        self._submitted.inc()
+        self._depth.set(depth)
         with self._lock:
-            self.submitted += 1
             if depth > self.queue_depth_hwm:
                 self.queue_depth_hwm = depth
 
     def note_reject(self, cause: str):
-        with self._lock:
-            self.rejected[cause] = self.rejected.get(cause, 0) + 1
+        self._rejected.inc(cause=cause)
 
     def note_batch(self, size: int, cause: str):
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += size
-            self.flush_causes[cause] = self.flush_causes.get(cause, 0) + 1
-            self.occupancy[size] = self.occupancy.get(size, 0) + 1
+        self._flushes.inc(cause=cause)
+        self._occupancy.inc(size=size)
 
     def note_complete(self, latency: float):
+        self._completed.inc()
+        self._latency_hist.observe(latency)
         with self._lock:
-            self.completed += 1
             self.latency.add(latency)
 
     def note_failed(self):
-        with self._lock:
-            self.failed += 1
+        self._failed.inc()
 
     def latency_sample(self) -> list[float]:
         """Retained latency sample, copied under the lock.
@@ -110,21 +136,55 @@ class ServiceStats:
         with self._lock:
             return self.latency.values()
 
-    # -- reading ------------------------------------------------------------
+    # -- reading: registry-backed views of the historical attributes --------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value())
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value())
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value())
+
+    @property
+    def rejected(self) -> dict:
+        """cause → count (queue_full, deadline, closed)."""
+        return {cause: int(c) for (cause,), c in self._rejected.series().items()}
+
+    @property
+    def flush_causes(self) -> dict:
+        """size | linger | drain → count."""
+        return {cause: int(c) for (cause,), c in self._flushes.series().items()}
+
+    @property
+    def occupancy(self) -> dict:
+        """exact batch size → count."""
+        return {int(size): int(c) for (size,), c in self._occupancy.series().items()}
+
+    @property
+    def batches(self) -> int:
+        return sum(self.occupancy.values())
+
+    @property
+    def batched_requests(self) -> int:
+        return sum(size * count for size, count in self.occupancy.items())
+
     @property
     def total_rejected(self) -> int:
-        with self._lock:
-            return sum(self.rejected.values())
+        return sum(self.rejected.values())
 
     @property
     def mean_occupancy(self) -> float:
-        with self._lock:
-            return self.batched_requests / self.batches if self.batches else 0.0
+        occ = self.occupancy
+        batches = sum(occ.values())
+        return sum(s * c for s, c in occ.items()) / batches if batches else 0.0
 
     def occupancy_histogram(self) -> list[tuple[str, int]]:
         """(bucket label, batches) rows over power-of-two occupancy bins."""
-        with self._lock:
-            occ = dict(self.occupancy)
+        occ = self.occupancy
         rows = []
         lo = 1
         for hi in OCCUPANCY_EDGES:
@@ -140,21 +200,28 @@ class ServiceStats:
 
     def snapshot(self) -> dict:
         """JSON-shaped copy of every counter (for benches and reports)."""
+        occ = self.occupancy
+        batches = sum(occ.values())
+        batched = sum(s * c for s, c in occ.items())
         with self._lock:
             return {
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "failed": self.failed,
-                "rejected": dict(self.rejected),
-                "batches": self.batches,
-                "batched_requests": self.batched_requests,
-                "flush_causes": dict(self.flush_causes),
-                "mean_occupancy": (
-                    self.batched_requests / self.batches if self.batches else 0.0
-                ),
+                "rejected": self.rejected,
+                "batches": batches,
+                "batched_requests": batched,
+                "flush_causes": self.flush_causes,
+                "mean_occupancy": batched / batches if batches else 0.0,
                 "queue_depth_hwm": self.queue_depth_hwm,
                 "latency_p50_ms": self.latency.percentile(50) * 1e3,
                 "latency_p99_ms": self.latency.percentile(99) * 1e3,
                 "latency_mean_ms": self.latency.mean * 1e3,
                 "latency_max_ms": self.latency.max * 1e3,
             }
+
+    def as_dict(self) -> dict:
+        """Snapshot plus the occupancy rows (one JSON-ready document)."""
+        d = self.snapshot()
+        d["occupancy"] = {str(k): v for k, v in sorted(self.occupancy.items())}
+        return d

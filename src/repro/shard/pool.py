@@ -52,6 +52,7 @@ import time
 from collections import deque
 from dataclasses import replace
 
+from repro.obs import ClockOffset, get_registry, get_tracer
 from repro.search.pipeline import SearchConfig
 from repro.search.topk import Hit, TopKReducer
 from repro.shard.plan import ShardPlan, build_pool_payloads
@@ -171,6 +172,9 @@ class ShardWorkerPool:
         self._broken = False
         self._closed = False
         self._lock = threading.RLock()
+        # Per-shard wall-clock offsets (estimated from PING round-trips),
+        # used to map worker-shipped span timestamps onto this process.
+        self._clock_offsets: dict = {}
 
     # -- introspection -------------------------------------------------------
     @property
@@ -287,20 +291,40 @@ class ShardWorkerPool:
         return False
 
     # -- the commands --------------------------------------------------------
-    def search_topk(self, queries, *, timeout: float | None = None, **overrides) -> list[list[Hit]]:
+    def search_topk(
+        self,
+        queries,
+        *,
+        timeout: float | None = None,
+        carrier: dict | None = None,
+        **overrides,
+    ) -> list[list[Hit]]:
         """Global per-query top-K over the resident reference, merged.
 
         ``overrides`` replace fields of the pool's
         :class:`~repro.search.pipeline.SearchConfig` for this call only
         (e.g. ``k=3``).  Bit-identical to a single-process
         ``search_topk(queries, database, ...)`` with the same parameters.
+
+        ``carrier`` is an optional propagated trace position
+        (:meth:`~repro.obs.Tracer.inject` form).  Callers hopping threads
+        to reach the pool (the router's ``run_in_executor``) pass it
+        explicitly, because contextvars don't cross executor threads; the
+        pool's span — and, through the command protocol, every worker's
+        spans — then stitch into the caller's trace.
         """
         t_run = time.perf_counter()
         enc_queries = [encode(q) for q in queries]
         qmax = max((q.size for q in enc_queries), default=0)
         if qmax == 0:
             raise ShardError("sharded search needs at least one query")
-        with self._lock:
+        tracer = get_tracer()
+        with tracer.span(
+            "pool.search_topk",
+            parent=carrier,
+            shards=self.num_shards,
+            queries=len(enc_queries),
+        ) as sp, self._lock:
             cold = self._ensure_workers() or self._cold_pending
             self._cold_pending = False
             search_cfg = self.plan.search
@@ -315,16 +339,22 @@ class ShardWorkerPool:
             )
             seq = self._next_seq()
             deadline = self._deadline(timeout)
-            messages = self._gather_search(seq, enc_queries, search_cfg, deadline)
+            # Workers trace under the pool span's position, shipped as a
+            # plain carrier dict through the (picklable) command tuple.
+            wcarrier = sp.context.to_carrier() if sp.context is not None else None
+            messages = self._gather_search(
+                seq, enc_queries, search_cfg, deadline, wcarrier
+            )
 
             t0 = time.perf_counter()
-            reducer = TopKReducer(
-                len(enc_queries), k=search_cfg.k, min_score=search_cfg.min_score
-            )
-            for results, ws in messages:
-                run.add(ws)
-                reducer.absorb(results)
-            merged = reducer.results()
+            with tracer.span("pool.merge", shards=len(messages)):
+                reducer = TopKReducer(
+                    len(enc_queries), k=search_cfg.k, min_score=search_cfg.min_score
+                )
+                for results, ws in messages:
+                    run.add(ws)
+                    reducer.absorb(results)
+                merged = reducer.results()
             run.merge_s = time.perf_counter() - t0
             run.total_s = time.perf_counter() - t_run
             self.stats.searches += 1
@@ -333,6 +363,13 @@ class ShardWorkerPool:
             else:
                 self.stats.cold_searches += 1
             self.stats.last_run = run
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter(
+                    "pool_searches_total",
+                    "Pool search rounds, by worker warmth",
+                    labels=("mode",),
+                ).inc(mode="warm" if run.warm else "cold")
             return merged
 
     def swap_reference(self, database) -> None:
@@ -400,6 +437,11 @@ class ShardWorkerPool:
             self.stats.transport = "shared_memory" if segment else "pickle"
             self.stats.swaps += 1
             self.stats.swap_s += time.perf_counter() - t0
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter(
+                    "pool_swaps_total", "Online reference swaps committed"
+                ).inc()
 
     def ping(self, *, timeout: float | None = None) -> list[float]:
         """Round-trip every worker; returns per-shard latencies (seconds).
@@ -407,15 +449,24 @@ class ShardWorkerPool:
         Each entry is dispatch-to-reply-arrival for that shard (arrival
         stamped as its pong is collected), so a slow worker shows up in
         its own entry instead of inflating every shard's number.
+
+        Side effect: each pong carries the worker's wall clock, from
+        which a per-shard :class:`~repro.obs.ClockOffset` is estimated
+        (midpoint assumption) and cached — worker span timestamps shipped
+        in later search replies are mapped onto this process's axis with
+        it.  Per-shard ping latency and offset land in the metrics
+        registry as health gauges.
         """
-        with self._lock:
+        tracer = get_tracer()
+        with self._lock, tracer.span("pool.ping", shards=self.num_shards):
             self._ensure_workers()
             seq = self._next_seq()
             t0 = time.monotonic()
+            t0_wall = time.time()
             for shard_id in range(self.num_shards):
                 self._cmd_qs[shard_id].put(("ping", seq))
             arrivals: dict[int, float] = {}
-            self._collect(
+            msgs = self._collect(
                 "pong",
                 seq,
                 set(range(self.num_shards)),
@@ -423,7 +474,28 @@ class ShardWorkerPool:
                 arrivals=arrivals,
             )
             self.stats.pings += 1
-            return [arrivals[shard_id] - t0 for shard_id in sorted(arrivals)]
+            latencies = {sid: arrivals[sid] - t0 for sid in arrivals}
+            reg = get_registry()
+            for shard_id, msg in msgs.items():
+                if len(msg) > 4:  # pong carries the worker's wall clock
+                    t1_wall = t0_wall + latencies[shard_id]
+                    self._clock_offsets[shard_id] = ClockOffset.from_roundtrip(
+                        t0_wall, t1_wall, msg[4]
+                    )
+                if reg.enabled:
+                    reg.gauge(
+                        "pool_shard_ping_seconds",
+                        "Last PING round-trip per shard",
+                        labels=("shard",),
+                    ).set(latencies[shard_id], shard=shard_id)
+                    off = self._clock_offsets.get(shard_id)
+                    if off is not None:
+                        reg.gauge(
+                            "pool_shard_clock_offset_us",
+                            "Estimated worker-minus-parent wall clock offset",
+                            labels=("shard",),
+                        ).set(off.offset_us, shard=shard_id)
+            return [latencies[shard_id] for shard_id in sorted(latencies)]
 
     def report(self) -> str:
         """Pool residency/reuse table (perf.report format)."""
@@ -460,8 +532,18 @@ class ShardWorkerPool:
 
     def _await_ready(self, shard_ids) -> None:
         ready = self._collect("ready", -1, set(shard_ids), self._deadline(None))
+        reg = get_registry()
+        alive = (
+            reg.gauge(
+                "pool_shard_alive", "1 while the shard worker is up", labels=("shard",)
+            )
+            if reg.enabled
+            else None
+        )
         for shard_id, msg in ready.items():
             self.stats.record_ready(shard_id, msg[3])
+            if alive is not None:
+                alive.set(1, shard=shard_id)
 
     def _ensure_workers(self) -> bool:
         """Start lazily; heal after worker death.  True if any spawned.
@@ -493,6 +575,12 @@ class ShardWorkerPool:
         self._last_spawn_s = time.perf_counter() - t0
         self.stats.spawn_s += self._last_spawn_s
         self.stats.respawns += self.num_shards
+        self._clock_offsets.clear()  # fresh workers, fresh clocks
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                "pool_respawns_total", "Workers respawned by all-or-nothing healing"
+            ).inc(self.num_shards)
         self._cold_pending = True
         return True
 
@@ -532,10 +620,17 @@ class ShardWorkerPool:
     def _liveness_check(self, waiting_on, died_at: dict, deadline, label: str) -> None:
         """Raise (and break the pool) on dead workers or a passed deadline."""
         now = time.monotonic()
+        reg = get_registry()
         for shard_id in waiting_on:
             proc = self._procs[shard_id]
             if proc is None or proc.is_alive():
                 continue
+            if reg.enabled:
+                reg.gauge(
+                    "pool_shard_alive",
+                    "1 while the shard worker is up",
+                    labels=("shard",),
+                ).set(0, shard=shard_id)
             if proc.exitcode not in (0, None):
                 self._break()
                 raise ShardWorkerError(
@@ -599,23 +694,54 @@ class ShardWorkerPool:
                     arrivals[msg[1]] = time.monotonic()
         return messages
 
-    def _gather_search(self, seq, enc_queries, search_cfg, deadline) -> list:
+    def _gather_search(
+        self, seq, enc_queries, search_cfg, deadline, carrier=None
+    ) -> list:
         """Staggered dispatch + gather: one result per shard, in shard order.
 
         At most :attr:`max_concurrent` shards hold a live ``search``
         command at any moment; the next pending shard is dispatched as
         each result lands, clamping pool concurrency to the host.
+
+        When ``carrier`` is set, each command ships it so the worker
+        traces under it; replies carry the worker's finished spans and
+        metrics delta, ingested here (span timestamps corrected by the
+        shard's PING-estimated clock offset).
         """
         num = self.num_shards
         pending = deque(range(num))
         inflight: set[int] = set()
         messages: dict[int, tuple] = {}
         died_at: dict[int, float] = {}
+        tracer = get_tracer()
+        reg = get_registry()
+        rt_spans: dict = {}  # shard_id → open command round-trip span
+        if reg.enabled:
+            search_hist = reg.histogram(
+                "pool_shard_search_seconds",
+                "Per-shard wall time of one SEARCH command",
+                labels=("shard",),
+            )
+            wait_gauge = reg.gauge(
+                "pool_shard_queue_wait_seconds",
+                "Reply-queue dwell of the shard's last result",
+                labels=("shard",),
+            )
         while len(messages) < num:
             while pending and len(inflight) < self.max_concurrent:
                 shard_id = pending.popleft()
+                shard_carrier = carrier
+                if tracer.enabled:
+                    # Deliberately not entered: open per-shard round-trip
+                    # spans overlap, so none may own the ambient context.
+                    # Each ships its own context so the worker's spans
+                    # nest under its round trip, not the whole fan-out.
+                    rt = tracer.span("pool.command", shard=shard_id)
+                    rt_spans[shard_id] = rt
+                    if rt.context is not None:
+                        shard_carrier = rt.context.to_carrier()
                 self._cmd_qs[shard_id].put(
-                    ("search", seq, enc_queries, search_cfg)
+                    ("search", seq, enc_queries, search_cfg, shard_carrier)
                 )
                 inflight.add(shard_id)
             try:
@@ -631,8 +757,22 @@ class ShardWorkerPool:
                 raise ShardWorkerError(f"shard {msg[1]} worker raised:\n{msg[3]}")
             if msg[0] != "ok":
                 continue
-            _, shard_id, _, results, ws, done_ts = msg
+            _, shard_id, _, results, ws, done_ts = msg[:6]
+            obs = msg[6] if len(msg) > 6 else None
             ws.queue_wait_s = max(0.0, time.monotonic() - done_ts)
+            if obs is not None:
+                if obs.get("metrics") and reg.enabled:
+                    reg.merge(obs["metrics"])
+                if obs.get("spans") and tracer.enabled:
+                    tracer.ingest(
+                        obs["spans"], offset=self._clock_offsets.get(shard_id)
+                    )
+            rt = rt_spans.pop(shard_id, None)
+            if rt is not None:
+                rt.set(queue_wait_s=round(ws.queue_wait_s, 6)).finish()
+            if reg.enabled:
+                search_hist.observe(ws.search_s, shard=shard_id)
+                wait_gauge.set(ws.queue_wait_s, shard=shard_id)
             messages[shard_id] = (results, ws)
             inflight.discard(shard_id)
         return [messages[i] for i in sorted(messages)]

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.obs import get_tracer
 from repro.search.pipeline import _chunk_source, classify_database, resolve_windowing
 from repro.search.topk import TopKReducer
 from repro.serve.batcher import Priority
@@ -99,6 +100,10 @@ class RouterStats:
             "latency_p99_ms": pct(99),
             "per_shard": snaps,
         }
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (alias of :meth:`snapshot`, for uniformity)."""
+        return self.snapshot()
 
 
 class ShardRouter:
@@ -280,31 +285,42 @@ class ShardRouter:
         calls serialize on the pool's lock (single query set in flight —
         see the ``pool`` parameter note).
         """
+        tracer = get_tracer()
         if self.pool is not None:
             merged = dict(self._search_kwargs)
             merged.update(overrides)
             loop = asyncio.get_running_loop()
-            results = await loop.run_in_executor(
-                None,
-                lambda: self.pool.search_topk([query], timeout=timeout, **merged),
-            )
-            return results[0]
-        partials = await asyncio.gather(
-            *(
-                svc.submit_search(
-                    query, priority=priority, timeout=timeout, **overrides
+            with tracer.span("router.submit_search", shards=self.num_shards):
+                # The pool call runs on an executor thread, which never
+                # sees this task's contextvars — hand the position over
+                # as an explicit carrier instead.
+                carrier = tracer.inject()
+                results = await loop.run_in_executor(
+                    None,
+                    lambda: self.pool.search_topk(
+                        [query], timeout=timeout, carrier=carrier, **merged
+                    ),
                 )
-                for svc in self.services
+            return results[0]
+        with tracer.span("router.submit_search", shards=self.num_shards):
+            # Service coroutines inherit this span via contextvars (task
+            # creation copies the context), so no explicit carrier needed.
+            partials = await asyncio.gather(
+                *(
+                    svc.submit_search(
+                        query, priority=priority, timeout=timeout, **overrides
+                    )
+                    for svc in self.services
+                )
             )
-        )
-        merged = dict(self._search_kwargs)
-        merged.update(overrides)
-        reducer = TopKReducer(
-            1, k=merged.get("k", 10), min_score=merged.get("min_score")
-        )
-        for hits in partials:
-            reducer.absorb([hits])
-        return reducer.results()[0]
+            merged = dict(self._search_kwargs)
+            merged.update(overrides)
+            reducer = TopKReducer(
+                1, k=merged.get("k", 10), min_score=merged.get("min_score")
+            )
+            for hits in partials:
+                reducer.absorb([hits])
+            return reducer.results()[0]
 
     # -- introspection --------------------------------------------------------
     def report(self) -> str:

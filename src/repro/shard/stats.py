@@ -57,6 +57,12 @@ class ShardWorkerStats:
             search_s=search_s,
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready copy (one row per field)."""
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 @dataclass
 class ShardRunStats:
@@ -106,6 +112,12 @@ class ShardRunStats:
             "warm": self.warm,
             "attach_s": self.attach_s,
         }
+
+    def as_dict(self) -> dict:
+        """JSON-ready form: :meth:`snapshot` plus the per-worker rows."""
+        out = self.snapshot()
+        out["workers"] = [w.as_dict() for w in self.workers]
+        return out
 
 
 @dataclass
@@ -159,3 +171,9 @@ class PoolStats:
             "attach_max_s": max(attach, default=0.0),
             "last_run": self.last_run.snapshot() if self.last_run else None,
         }
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (alias of :meth:`snapshot`, with full last run)."""
+        out = self.snapshot()
+        out["last_run"] = self.last_run.as_dict() if self.last_run else None
+        return out

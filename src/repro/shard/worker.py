@@ -21,16 +21,24 @@ reply carries ``(tag, shard_id, seq, ..., done_ts)`` on the shared result
 queue, where ``seq`` echoes the command's sequence number so the parent
 can discard stale replies after a failed run):
 
-* ``("search", seq, enc_queries, search_cfg)`` → ``("ok", shard_id, seq,
-  results, ShardWorkerStats, ts)`` — one bounded per-query top-K over the
-  shard's windows of the resident reference, windowed per-call from
-  ``search_cfg`` (a resolved :class:`~repro.search.pipeline.SearchConfig`).
+* ``("search", seq, enc_queries, search_cfg[, carrier])`` → ``("ok",
+  shard_id, seq, results, ShardWorkerStats, ts, obs)`` — one bounded
+  per-query top-K over the shard's windows of the resident reference,
+  windowed per-call from ``search_cfg`` (a resolved
+  :class:`~repro.search.pipeline.SearchConfig`).  ``carrier`` (optional)
+  is a propagated trace position: the worker traces the search under it
+  and ships the finished spans back in ``obs["spans"]``, alongside the
+  metrics-registry delta since its previous reply (``obs["metrics"]`` —
+  counters/histograms only, so cross-process merging never clobbers
+  parent gauges) and its wall clock (``obs["wall"]``).
 * ``("swap", seq, payload)`` → ``("swapped", shard_id, seq, attach_s,
   ts)`` — attach the new reference payload, then drop the old attachment;
   queries never observe a half-swapped state because the flip happens
   between commands, and the parent unlinks the old segment only after
   every worker has acknowledged.
-* ``("ping", seq)`` → ``("pong", shard_id, seq, ts)`` — liveness probe.
+* ``("ping", seq)`` → ``("pong", shard_id, seq, ts, wall)`` — liveness
+  probe; ``wall`` is the worker's ``time.time()``, from which the parent
+  estimates the clock offset that aligns shipped span timestamps.
 * ``("shutdown", seq)`` → no reply; the worker closes its engine,
   detaches, and exits 0.
 
@@ -127,6 +135,16 @@ def run_pool_worker(plan: ShardPlan, shard_id: int, payload, cmd_q, out_q) -> No
             time.monotonic(),
         )
     )
+    from repro.obs import MetricsRegistry, get_registry, get_tracer
+
+    tracer = get_tracer()
+    tracer.process = f"shard-{shard_id}"
+    # A forked child inherits the parent's tracer state; shipping those
+    # inherited spans back would duplicate them in the parent's buffer.
+    tracer.disable()
+    tracer.clear()
+    registry = get_registry()
+    prev_metrics = registry.snapshot()
     try:
         while True:
             cmd = cmd_q.get()
@@ -135,7 +153,7 @@ def run_pool_worker(plan: ShardPlan, shard_id: int, payload, cmd_q, out_q) -> No
                 if op == "shutdown":
                     return
                 if op == "ping":
-                    out_q.put(("pong", shard_id, seq, time.monotonic()))
+                    out_q.put(("pong", shard_id, seq, time.monotonic(), time.time()))
                 elif op == "swap":
                     t0 = time.perf_counter()
                     fresh = _attach(cmd[2])
@@ -152,24 +170,48 @@ def run_pool_worker(plan: ShardPlan, shard_id: int, payload, cmd_q, out_q) -> No
                     )
                 elif op == "search":
                     enc_queries, search_cfg = cmd[2], cmd[3]
+                    carrier = cmd[4] if len(cmd) > 4 else None
                     splan = replace(plan, search=search_cfg)
                     t0 = time.perf_counter()
                     source = resident.chunk_iter(splan, shard_id)
-                    run = search(
-                        enc_queries,
-                        source,
-                        engine=engine,
-                        **search_cfg.search_kwargs(),
-                    )
-                    results = run.topk()
+                    if carrier is not None:
+                        tracer.enable()
+                    with tracer.activate(carrier), tracer.span(
+                        "worker.search", shard=shard_id, queries=len(enc_queries)
+                    ):
+                        run = search(
+                            enc_queries,
+                            source,
+                            engine=engine,
+                            **search_cfg.search_kwargs(),
+                        )
+                        results = run.topk()
                     stats = ShardWorkerStats.from_pipeline(
                         shard_id,
                         run.stats,
                         hits=sum(len(hits) for hits in results),
                         search_s=time.perf_counter() - t0,
                     )
+                    spans = []
+                    if carrier is not None:
+                        spans = [s.to_tuple() for s in tracer.drain()]
+                        tracer.disable()
+                    cur_metrics = registry.snapshot()
+                    delta = MetricsRegistry.diff(prev_metrics, cur_metrics)
+                    prev_metrics = cur_metrics
+                    obs = {
+                        # Gauges are point-in-time per-process readings; the
+                        # parent keeps its own per-shard gauges instead.
+                        "metrics": {
+                            name: entry
+                            for name, entry in delta.items()
+                            if entry["kind"] != "gauge"
+                        },
+                        "spans": spans,
+                        "wall": time.time(),
+                    }
                     out_q.put(
-                        ("ok", shard_id, seq, results, stats, time.monotonic())
+                        ("ok", shard_id, seq, results, stats, time.monotonic(), obs)
                     )
                 else:
                     raise ValueError(f"unknown pool command {op!r}")

@@ -1,0 +1,498 @@
+"""Tests for the observability subsystem (repro.obs + instrumentation).
+
+Covers the PR's acceptance checklist:
+
+* tracer mechanics — parent links via contextvars, explicit carriers,
+  the ring bound, the zero-allocation disabled path, retro-recording;
+* metrics mechanics — the three instrument kinds, labeled series,
+  registration conflicts, snapshot/diff/merge composability, and exact
+  counts under a multi-thread hammer;
+* exports — Chrome ``trace_event`` structure (validated by the same
+  gate CI uses), Prometheus text, ``perf.report.snapshot``;
+* cross-process propagation — a traced sharded search yields ONE
+  stitched trace with worker-process spans, and the stitching survives a
+  worker being killed and respawned between traced calls.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    ClockOffset,
+    MetricsRegistry,
+    Span,
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.perf.report import snapshot as perf_snapshot
+from repro.perf.report import trace_tree
+from repro.search import SearchConfig, search
+from repro.shard import ShardPlan, ShardWorkerPool
+from repro.util.checks import ValidationError
+
+from helpers import hit_keys, planted_instance
+
+
+@pytest.fixture
+def tracer():
+    """A private enabled tracer (no global state touched)."""
+    return Tracer(capacity=64, enabled=True)
+
+
+@pytest.fixture
+def global_obs():
+    """Enable the global tracer for a test; restore/clear afterwards."""
+    t = enable_tracing(capacity=16384)
+    t.clear()
+    yield t
+    disable_tracing()
+    t.clear()
+
+
+# -- tracer mechanics --------------------------------------------------------
+class TestTracer:
+    def test_disabled_path_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        a = t.span("a", anything=1)
+        b = t.span("b")
+        assert a is b  # one shared object: no allocation when disabled
+        with a as sp:
+            assert sp.context is None
+            sp.set(x=1)  # surface matches the live span
+        sp.finish()
+        assert t.spans() == []
+        assert t.record_span("c", 0.5) is None
+
+    def test_nested_spans_link_to_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild"):
+                    pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["root"].parent_id is None
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["grandchild"].parent_id == spans["child"].span_id
+        assert len({s.trace_id for s in spans.values()}) == 1
+        assert root.context.trace_id == child.context.trace_id
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["a"].parent_id == spans["b"].parent_id == spans["root"].span_id
+
+    def test_explicit_parent_overrides_ambient(self, tracer):
+        with tracer.span("root") as root:
+            foreign = SpanContext("t-x", "s-x")
+            with tracer.span("adopted", parent=foreign):
+                pass
+            with tracer.span("carrier-adopted", parent=foreign.to_carrier()):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["adopted"].trace_id == "t-x"
+        assert spans["adopted"].parent_id == "s-x"
+        assert spans["carrier-adopted"].parent_id == "s-x"
+        assert spans["root"].trace_id != "t-x"
+        assert root.context is not None
+
+    def test_carrier_roundtrip_through_activate(self, tracer):
+        with tracer.span("root"):
+            ctx = tracer.current()
+            carrier = ctx.to_carrier()
+        # Far side of a queue/thread hop: no ambient context here.
+        assert tracer.current() is None
+        with tracer.activate(carrier):
+            with tracer.span("remote"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["remote"].trace_id == spans["root"].trace_id
+        assert spans["remote"].parent_id == spans["root"].span_id
+
+    def test_activate_none_is_a_noop(self, tracer):
+        with tracer.activate(None):
+            assert tracer.current() is None
+        with tracer.activate({}):
+            assert tracer.current() is None
+
+    def test_ring_bound_drops_oldest(self):
+        t = Tracer(capacity=4, enabled=True)
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        spans = t.spans()
+        assert [s.name for s in spans] == ["s6", "s7", "s8", "s9"]
+        assert t.dropped == 6
+        t.clear()
+        assert t.dropped == 0
+
+    def test_record_span_retro_records(self, tracer):
+        with tracer.span("root"):
+            got = tracer.record_span("timed", 0.25, batch=3)
+        spans = {s.name: s for s in tracer.spans()}
+        assert got is spans["timed"]
+        assert spans["timed"].parent_id == spans["root"].span_id
+        assert spans["timed"].dur_us == pytest.approx(0.25e6)
+        assert spans["timed"].attrs == {"batch": 3}
+        # start defaults to now - duration: it ends by roughly "now".
+        end_us = spans["timed"].start_us + spans["timed"].dur_us
+        assert abs(end_us - spans["root"].start_us) < 5e6
+
+    def test_exception_stamps_error_attr(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_drain_empties_buffer(self, tracer):
+        with tracer.span("a"):
+            pass
+        assert [s.name for s in tracer.drain()] == ["a"]
+        assert tracer.spans() == []
+
+    def test_span_tuple_roundtrip(self, tracer):
+        with tracer.span("x", k=1):
+            pass
+        (span,) = tracer.spans()
+        assert Span.from_tuple(span.to_tuple()) == span
+
+
+class TestClockOffset:
+    def test_roundtrip_estimate(self):
+        # Remote clock 2s ahead; symmetric 100ms round trip.
+        off = ClockOffset.from_roundtrip(10.0, 10.1, 12.05)
+        assert off.offset_us == pytest.approx(2.0e6)
+        assert off.rtt_us == pytest.approx(0.1e6)
+        assert off.to_local_us(12.05e6) == pytest.approx(10.05e6)
+
+    def test_ingest_applies_offset(self, tracer):
+        foreign = Span(
+            trace_id="t", span_id="s", parent_id=None, name="w",
+            start_us=5_000_000.0, pid=999, tid=1, process="shard-0",
+        )
+        tracer.ingest([foreign.to_tuple()], offset=ClockOffset(offset_us=1e6))
+        (span,) = tracer.spans()
+        assert span.start_us == pytest.approx(4_000_000.0)
+        assert span.process == "shard-0"
+
+
+# -- chrome export -----------------------------------------------------------
+class TestChromeExport:
+    def _spans(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        return tracer.spans()
+
+    def test_export_shape_and_validation(self, tracer):
+        doc = to_chrome_trace(self._spans(tracer))
+        text = json.dumps(doc)  # must be JSON-serializable as-is
+        assert "traceEvents" in json.loads(text)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == 2
+        assert {e["name"] for e in ms} == {"process_name", "thread_name"}
+        summary = validate_chrome_trace(doc, require_single_trace=True)
+        assert summary == {"spans": 2, "processes": 1, "traces": 1, "roots": 1}
+
+    def test_validation_rejects_orphans(self, tracer):
+        spans = self._spans(tracer)
+        spans[0].parent_id = "s-not-a-span"  # orphan the child's root
+        with pytest.raises(ValidationError, match="orphaned"):
+            validate_chrome_trace(to_chrome_trace(spans))
+
+    def test_validation_requires_worker_process(self, tracer):
+        doc = to_chrome_trace(self._spans(tracer))
+        with pytest.raises(ValidationError, match="process"):
+            validate_chrome_trace(doc, require_worker_process=True)
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_trace_tree_renders_hierarchy(self, tracer):
+        text = trace_tree(self._spans(tracer), title="T")
+        root_line, child_line = text.splitlines()[2:4]
+        assert root_line.startswith("root")
+        assert child_line.startswith("  child")
+        assert "(no spans)" in trace_tree([])
+
+
+# -- metrics -----------------------------------------------------------------
+class TestMetrics:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", labels=("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 1
+        with pytest.raises(ValidationError):
+            c.inc(-1, kind="a")
+        with pytest.raises(ValidationError):
+            c.inc(kind="a", extra="x")
+
+    def test_gauge_set_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        val = h.value()
+        assert val["count"] == 5
+        assert val["sum"] == pytest.approx(5.605)
+        assert val["buckets"] == {"0.01": 1, "0.1": 2, "1.0": 1}
+        assert val["inf"] == 1
+
+    def test_registration_idempotent_and_conflicts(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels=("k",))
+        assert reg.counter("x_total", labels=("k",)) is a
+        with pytest.raises(ValidationError):
+            reg.gauge("x_total", labels=("k",))
+        with pytest.raises(ValidationError):
+            reg.counter("x_total", labels=("other",))
+
+    def test_snapshot_diff(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total")
+        g = reg.gauge("depth")
+        h = reg.histogram("lat", buckets=(1.0,))
+        c.inc(3)
+        g.set(7)
+        h.observe(0.5)
+        before = reg.snapshot()
+        c.inc(2)
+        g.set(4)
+        h.observe(2.0)
+        delta = MetricsRegistry.diff(before, reg.snapshot())
+        assert delta["n_total"]["series"][()] == 2
+        assert delta["depth"]["series"][()] == 4  # gauges: latest reading
+        assert delta["lat"]["series"][()]["count"] == 1
+        assert delta["lat"]["series"][()]["sum"] == pytest.approx(2.0)
+        # A no-change interval produces an empty diff for that metric.
+        empty = MetricsRegistry.diff(reg.snapshot(), reg.snapshot())
+        assert "n_total" not in empty
+        assert "lat" not in empty
+
+    def test_merge_adds_counters_overwrites_gauges(self):
+        worker = MetricsRegistry()
+        worker.counter("n_total").inc(5)
+        worker.gauge("depth").set(9)
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.counter("n_total").inc(1)
+        parent.merge(worker.snapshot())
+        assert parent.counter("n_total").value() == 6
+        assert parent.gauge("depth").value() == 9
+        assert parent.get("lat").value()["count"] == 1
+
+    def test_merge_with_extra_labels_keeps_series_distinct(self):
+        worker = MetricsRegistry()
+        worker.counter("w_total").inc(5)
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot(), extra_labels={"shard": 0})
+        parent.merge(worker.snapshot(), extra_labels={"shard": 1})
+        c = parent.get("w_total")
+        assert c.value(shard="0") == 5
+        assert c.value(shard="1") == 5
+
+    def test_prometheus_export(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", help="requests", labels=("kind",)).inc(3, kind="a")
+        reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="a"} 3' in text
+        assert "# HELP req_total requests" in text
+        assert 'lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_as_dict_flattens_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", labels=("a", "b")).inc(2, a="x", b="y")
+        d = reg.as_dict()
+        assert d["n_total"]["series"] == {"a=x,b=y": 2}
+
+    def test_thread_hammer_exact_counts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", labels=("worker",))
+        g = reg.gauge("adds")
+        h = reg.histogram("vals", buckets=(0.5,))
+        threads, per_thread = 8, 5000
+
+        def hammer(i):
+            for k in range(per_thread):
+                c.inc(worker=str(i % 2))
+                g.add(1)
+                h.observe((k % 10) / 10.0)
+
+        ts = [threading.Thread(target=hammer, args=(i,)) for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        total = threads * per_thread
+        assert c.value(worker="0") + c.value(worker="1") == total
+        assert g.value() == total
+        assert h.value()["count"] == total
+
+
+# -- layer integration -------------------------------------------------------
+class TestInstrumentation:
+    def test_traced_search_is_one_trace(self, global_obs):
+        ref, queries, _ = planted_instance(6000, 3, 60, seed=71)
+        run = search(queries, ref, k=3, window=120, overlap=76)
+        run.topk()
+        spans = global_obs.spans()
+        names = {s.name for s in spans}
+        assert {"search", "seed", "verify", "reduce"} <= names
+        summary = validate_chrome_trace(
+            to_chrome_trace(spans), require_single_trace=True
+        )
+        assert summary["roots"] == 1
+
+    def test_search_metrics_recorded(self):
+        reg = get_registry()
+        before = reg.snapshot()
+        ref, queries, _ = planted_instance(6000, 3, 60, seed=72)
+        search(queries, ref, k=3, window=120, overlap=76).topk()
+        delta = MetricsRegistry.diff(before, reg.snapshot())
+        assert delta["search_runs_total"]["series"][()] == 1
+        assert delta["search_queries_total"]["series"][()] == 3
+        pairs = delta["pipeline_pairs_total"]["series"][("search",)]
+        assert pairs > 0
+
+    def test_service_stats_registry_coherent(self):
+        from repro.serve.stats import ServiceStats
+
+        st = ServiceStats()
+        st.note_submit(depth=3)
+        st.note_batch(2, cause="full")
+        st.note_complete(0.01)
+        st.note_reject("deadline")
+        assert st.submitted == 1
+        assert st.completed == 1
+        assert st.rejected == {"deadline": 1}
+        assert st.occupancy == {2: 1}
+        # The same numbers are visible through the registry export.
+        prom = st.registry.to_prometheus()
+        assert "serve_submitted_total 1" in prom
+        assert 'serve_rejected_total{cause="deadline"} 1' in prom
+
+
+# -- perf.report aggregation -------------------------------------------------
+class TestSnapshotAggregation:
+    def test_perf_snapshot_document(self, global_obs):
+        ref, queries, _ = planted_instance(6000, 2, 60, seed=73)
+        run = search(queries, ref, k=3, window=120, overlap=76)
+        run.topk()
+        doc = perf_snapshot(pipelines=[run.stats], tracer=global_obs)
+        text = json.dumps(doc)  # the whole point: one JSON document
+        assert doc["pipelines"][0]["pairs"] == run.stats.pairs
+        assert "search_runs_total" in doc["metrics"]
+        assert doc["trace"]["spans"] == len(global_obs.spans())
+        assert "search" in doc["trace"]["tree"]
+        assert "pipelines" in json.loads(text)
+
+    def test_stats_as_dict_are_json_ready(self):
+        from repro.serve.stats import ServiceStats
+        from repro.shard.stats import PoolStats, ShardRunStats, ShardWorkerStats
+
+        ws = ShardWorkerStats(shard_id=0, pairs=4, hits=2)
+        rs = ShardRunStats(num_shards=1)
+        rs.add(ws)
+        ps = PoolStats(num_shards=1)
+        ps.last_run = rs
+        for obj in (ws, rs, ps, ServiceStats()):
+            json.dumps(obj.as_dict())
+        assert rs.as_dict()["workers"][0]["pairs"] == 4
+        assert ps.as_dict()["last_run"]["totals"]["hits"] == 2
+
+
+# -- cross-process propagation ----------------------------------------------
+def _plan(num_shards=2, **search_kw):
+    return ShardPlan(
+        num_shards=num_shards,
+        search=SearchConfig(**search_kw),
+        start_method="fork",
+    )
+
+
+class TestPoolPropagation:
+    def test_pool_search_stitches_worker_spans(self, global_obs):
+        ref, queries, _ = planted_instance(8000, 3, 80, seed=74)
+        with ShardWorkerPool(ref, plan=_plan(k=3), timeout=120) as pool:
+            pool.ping()  # estimate per-worker clock offsets
+            global_obs.clear()  # trace only the search itself
+            with global_obs.span("client"):
+                pool.search_topk(queries)
+        spans = global_obs.spans()
+        summary = validate_chrome_trace(
+            to_chrome_trace(spans),
+            require_worker_process=True,
+            require_single_trace=True,
+        )
+        assert summary["roots"] == 1
+        assert summary["processes"] == 3  # parent + 2 shard workers
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s.name, []).append(s)
+        # Every worker's root span hangs off a pool.command round trip.
+        commands = {s.span_id for s in by_name["pool.command"]}
+        assert len(by_name["worker.search"]) == 2
+        for w in by_name["worker.search"]:
+            assert w.parent_id in commands
+            assert w.process.startswith("shard-")
+
+    def test_propagation_survives_worker_respawn(self, global_obs):
+        ref, queries, _ = planted_instance(8000, 3, 80, seed=75)
+        with ShardWorkerPool(ref, plan=_plan(k=3), timeout=120) as pool:
+            with global_obs.span("first"):
+                first = pool.search_topk(queries)
+            pool._procs[1].terminate()
+            pool._procs[1].join()
+            global_obs.clear()
+            with global_obs.span("second"):
+                second = pool.search_topk(queries)
+            assert pool.stats.respawns == pool.num_shards
+        assert hit_keys(second) == hit_keys(first)
+        spans = global_obs.spans()
+        summary = validate_chrome_trace(
+            to_chrome_trace(spans),
+            require_worker_process=True,
+            require_single_trace=True,
+        )
+        # The respawned workers' spans re-attach under the new root: no
+        # orphans (validate checked reachability), exactly one root, and
+        # a worker.search span from every respawned shard.
+        assert summary["roots"] == 1
+        workers = [s for s in spans if s.name == "worker.search"]
+        assert {s.process for s in workers} == {"shard-0", "shard-1"}
+
+    def test_untraced_pool_search_ships_no_spans(self, global_obs):
+        disable_tracing()
+        ref, queries, _ = planted_instance(6000, 2, 60, seed=76)
+        with ShardWorkerPool(ref, plan=_plan(k=3), timeout=120) as pool:
+            pool.search_topk(queries)
+        assert global_obs.spans() == []
