@@ -11,7 +11,11 @@ prefilter + banded verify + top-K) in three modes:
    baseline, paying only the ``enabled`` guard checks;
 2. **metrics** — registry enabled, tracing disabled (the always-on
    production posture): bar ≤ 5 % over baseline;
-3. **trace** — registry *and* tracer enabled, every stage span recorded:
+3. **log** — metrics plus debug-level structured logging: the sink
+   accepts the pipeline's per-batch debug records (ring append + token
+   bucket per record; the default info-level config gates them behind
+   one compare): bar ≤ 5 % over baseline;
+4. **trace** — registry *and* tracer enabled, every stage span recorded:
    bar ≤ 15 % over baseline.
 
 Each mode takes the **min over repeats** (the mode's noise floor), and
@@ -24,7 +28,14 @@ must never change the result.  Emits ``BENCH_obs.json``.
 import time
 
 from repro.engine import ExecutionEngine, PlanCache
-from repro.obs import disable_tracing, enable_tracing, get_registry, get_tracer
+from repro.obs import (
+    configure_logging,
+    disable_tracing,
+    enable_tracing,
+    get_log_sink,
+    get_registry,
+    get_tracer,
+)
 from repro.perf import format_table
 from repro.search import default_search_scheme, search
 from repro.util.rng import make_rng
@@ -67,12 +78,13 @@ def _run_mode(queries, ref, *, window, min_score, repeats):
 
 
 def _run_comparison(report, name, ref_len, count, qlen, repeats,
-                    metrics_bar, trace_bar):
+                    metrics_bar, log_bar, trace_bar):
     ref, queries = _workload(ref_len, count, qlen)
     window, min_score = 2 * qlen, int(2 * qlen * 0.8)
     reg = get_registry()
     tracer = get_tracer()
-    reg_was, trace_was = reg.enabled, tracer.enabled
+    sink = get_log_sink()
+    reg_was, trace_was, level_was = reg.enabled, tracer.enabled, sink.min_level
 
     try:
         # Mode 1: everything off — the disabled-path baseline.
@@ -88,7 +100,20 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
             queries, ref, window=window, min_score=min_score, repeats=repeats
         )
 
-        # Mode 3: metrics + tracing on, stage spans recorded.
+        # Mode 3: metrics + debug logging — the sink now accepts the
+        # pipeline's per-batch debug records.  An effectively unlimited
+        # token bucket makes every record pay the full construct + ring
+        # cost (rate-limited production configs only get cheaper).
+        configure_logging(min_level="debug", rate=1e9, burst=1e9)
+        sink.clear()
+        t_log, topk_log = _run_mode(
+            queries, ref, window=window, min_score=min_score, repeats=repeats
+        )
+        log_records = len(sink.records())
+        configure_logging(min_level=level_was, rate=50.0, burst=200.0)
+        sink.clear()
+
+        # Mode 4: metrics + tracing on, stage spans recorded.
         enable_tracing(capacity=65536)
         t_trace, topk_trace = _run_mode(
             queries, ref, window=window, min_score=min_score, repeats=repeats
@@ -99,15 +124,19 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
         get_tracer().clear()
         disable_tracing()
         reg.enabled = reg_was
+        configure_logging(min_level=level_was, rate=50.0, burst=200.0)
+        sink.clear()
         if trace_was:
             enable_tracing()
 
     # Observation must never change the answer.
     oracle = _topk_key(topk_off)
     assert _topk_key(topk_metrics) == oracle, "metrics mode changed the top-K"
+    assert _topk_key(topk_log) == oracle, "logging mode changed the top-K"
     assert _topk_key(topk_trace) == oracle, "tracing mode changed the top-K"
 
     metrics_overhead = t_metrics / t_off - 1.0
+    log_overhead = t_log / t_off - 1.0
     trace_overhead = t_trace / t_off - 1.0
     table = format_table(
         ("mode", "s (min of repeats)", "overhead", "bar"),
@@ -118,6 +147,12 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
                 f"{t_metrics:7.3f}",
                 f"{100 * metrics_overhead:+.1f}%",
                 f"<= {100 * metrics_bar:.0f}%",
+            ),
+            (
+                "metrics + debug logging",
+                f"{t_log:7.3f}",
+                f"{100 * log_overhead:+.1f}%",
+                f"<= {100 * log_bar:.0f}%",
             ),
             (
                 "metrics + trace on",
@@ -141,11 +176,15 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
             "repeats": repeats,
             "off_s": t_off,
             "metrics_s": t_metrics,
+            "log_s": t_log,
             "trace_s": t_trace,
             "metrics_overhead": metrics_overhead,
+            "log_overhead": log_overhead,
             "trace_overhead": trace_overhead,
             "metrics_bar": metrics_bar,
+            "log_bar": log_bar,
             "trace_bar": trace_bar,
+            "log_records": log_records,
             "spans_recorded": spans_recorded,
             "metric_series": metric_series,
             "bit_identical": True,
@@ -156,6 +195,11 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
         f"metrics-only overhead {100 * metrics_overhead:.1f}% exceeds the "
         f"{100 * metrics_bar:.0f}% bar (tracing disabled must stay nearly free)"
     )
+    assert log_records > 0, "debug logging mode emitted no records"
+    assert log_overhead <= log_bar, (
+        f"debug-logging overhead {100 * log_overhead:.1f}% exceeds the "
+        f"{100 * log_bar:.0f}% bar"
+    )
     assert trace_overhead <= trace_bar, (
         f"tracing overhead {100 * trace_overhead:.1f}% exceeds the "
         f"{100 * trace_bar:.0f}% bar"
@@ -163,17 +207,19 @@ def _run_comparison(report, name, ref_len, count, qlen, repeats,
 
 
 def test_obs_overhead(report):
-    """Acceptance: ≤5% overhead with tracing disabled, ≤15% enabled."""
+    """Acceptance: ≤5% overhead with tracing disabled (with or without
+    debug logging), ≤15% with tracing enabled."""
     _run_comparison(
         report, "obs", ref_len=100_000, count=48, qlen=120, repeats=3,
-        metrics_bar=0.05, trace_bar=0.15,
+        metrics_bar=0.05, log_bar=0.05, trace_bar=0.15,
     )
 
 
 def test_obs_overhead_smoke(report):
-    """Tiny CI variant: same disabled-path bar; the tracing bar is
-    loosened because per-span fixed costs dominate a ~40 ms workload."""
+    """Tiny CI variant: same disabled-path bar; the logging/tracing bars
+    are loosened because per-record fixed costs dominate a ~40 ms
+    workload."""
     _run_comparison(
         report, "obs_smoke", ref_len=20_000, count=12, qlen=80, repeats=5,
-        metrics_bar=0.05, trace_bar=0.25,
+        metrics_bar=0.05, log_bar=0.10, trace_bar=0.25,
     )

@@ -32,8 +32,11 @@ from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_logger, get_registry, get_tracer
 from repro.util.checks import check_positive
+
+#: Module-level so the hot loop pays a global load, not a dict lookup.
+_log = get_logger("engine.pipeline")
 
 __all__ = [
     "Request",
@@ -376,6 +379,14 @@ class StreamPipeline:
                 "Per-batch stage wall time",
                 labels=("pipeline", "stage"),
             ).observe(dt, pipeline=self.trace_name, stage=self._span_names["execute"])
+        if _log.enabled_for("debug"):  # one compare on the default config
+            _log.debug(
+                "batch executed",
+                pipeline=self.trace_name,
+                batch=len(batch),
+                cells=computed,
+                seconds=dt,
+            )
         return scores
 
     def run(self) -> Iterator[object]:

@@ -1,0 +1,373 @@
+"""Structured JSON-lines logging with automatic trace correlation.
+
+The serving stack's print-style reports answer "what happened over the
+whole run"; operating a live service needs the other granularity — *what
+just happened*, correlated with the request that caused it.  This module
+is that surface, deliberately small:
+
+* a :class:`LogRecord` is one event: wall-clock timestamp, level,
+  component, message, free-form fields — and, **automatically**, the
+  trace/span id of the ambient :mod:`repro.obs.trace` position, so a log
+  line from three layers down lands next to its span in the trace view;
+* per-component :class:`Logger`\\ s share one :class:`LogSink`, which
+  applies the level gate, a per-``(component, level)`` **token bucket**
+  (hot paths may log errors without melting the service — suppressed
+  counts are carried on the next record that passes), keeps a bounded
+  in-memory ring for the ``/logz`` endpoint, and optionally writes each
+  record as one JSON line to a stream;
+* everything is clock-injectable (the rate limiter takes a monotonic
+  clock) and the disabled path is one integer compare, so per-batch
+  ``debug`` calls may ride the hottest loops.
+
+Logging is ring-only by default — a library must not write to stderr
+uninvited; :func:`configure_logging` turns on the stream (and anything
+else) in place, so loggers cached by modules at import time see the new
+configuration immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.trace import get_tracer
+from repro.util.checks import ValidationError, check_positive
+
+__all__ = [
+    "LEVELS",
+    "LogRecord",
+    "LogSink",
+    "Logger",
+    "TokenBucket",
+    "configure_logging",
+    "get_log_sink",
+    "get_logger",
+]
+
+#: Level name → numeric severity (log when record level >= sink level).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_no(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValidationError(
+            f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+        ) from None
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second up to ``burst``.
+
+    Clock-injectable (any monotonic float-returning callable) so tests
+    drive it deterministically.  Not thread-safe by itself — the sink
+    serializes access under its lock.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        self.rate = check_positive(rate, "rate")
+        self.burst = check_positive(burst, "burst")
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._clock = clock
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; refills lazily from elapsed time."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(slots=True)
+class LogRecord:
+    """One structured log event (JSON-lines shaped).
+
+    ``suppressed`` counts records the rate limiter dropped for this
+    record's ``(component, level)`` since the previous record that
+    passed — dropped information is itself reported, never silent.
+    """
+
+    ts: float  # wall-clock epoch seconds
+    level: str
+    component: str
+    message: str
+    trace_id: str | None = None
+    span_id: str | None = None
+    pid: int = 0
+    tid: int = 0
+    fields: dict | None = None
+    suppressed: int = 0
+
+    def as_dict(self) -> dict:
+        out = {
+            "ts": self.ts,
+            "level": self.level,
+            "component": self.component,
+            "message": self.message,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+        if self.suppressed:
+            out["suppressed"] = self.suppressed
+        if self.fields:
+            out.update(self.fields)
+        return out
+
+    def to_json(self) -> str:
+        """One compact JSON line (``default=str`` keeps odd fields loggable)."""
+        return json.dumps(self.as_dict(), separators=(",", ":"), default=str)
+
+
+class LogSink:
+    """Shared backbone behind every :class:`Logger`.
+
+    Pipeline per record: level gate (done by the logger, one compare) →
+    per-``(component, level)`` token bucket → bounded ring append +
+    optional one-JSON-line stream write.  All mutation happens under one
+    lock; readers (``/logz``) copy under it.
+    """
+
+    def __init__(
+        self,
+        *,
+        stream=None,
+        ring_capacity: int = 2048,
+        min_level: str = "info",
+        rate: float = 50.0,
+        burst: float = 200.0,
+        clock=time.monotonic,
+    ):
+        check_positive(ring_capacity, "ring_capacity")
+        self._min_no = _level_no(min_level)
+        self.stream = stream
+        self.rate = check_positive(rate, "rate")
+        self.burst = check_positive(burst, "burst")
+        self.clock = clock
+        self._ring: deque = deque(maxlen=ring_capacity)
+        self._dropped = 0  # ring evictions (oldest-first overwrite)
+        self._buckets: dict = {}  # (component, level) -> TokenBucket
+        self._pending_suppressed: dict = {}  # carried onto the next pass
+        self._suppressed_total: dict = {}
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------------
+    @property
+    def min_level(self) -> str:
+        for name, no in LEVELS.items():
+            if no == self._min_no:
+                return name
+        return str(self._min_no)
+
+    @min_level.setter
+    def min_level(self, level: str):
+        self._min_no = _level_no(level)
+
+    @property
+    def ring_capacity(self) -> int:
+        return self._ring.maxlen
+
+    def configure(
+        self,
+        *,
+        stream=...,
+        min_level: str | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        ring_capacity: int | None = None,
+    ) -> "LogSink":
+        """Mutate in place so cached per-module loggers see the change."""
+        with self._lock:
+            if stream is not ...:
+                self.stream = stream
+            if min_level is not None:
+                self._min_no = _level_no(min_level)
+            if rate is not None:
+                self.rate = check_positive(rate, "rate")
+            if burst is not None:
+                self.burst = check_positive(burst, "burst")
+            if rate is not None or burst is not None:
+                self._buckets.clear()  # rebuilt lazily with the new policy
+            if ring_capacity is not None:
+                check_positive(ring_capacity, "ring_capacity")
+                self._ring = deque(self._ring, maxlen=ring_capacity)
+        return self
+
+    def enabled_for(self, level: str) -> bool:
+        return _level_no(level) >= self._min_no
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, record: LogRecord) -> bool:
+        """Rate-limit, ring, and stream one record.  True if it passed."""
+        key = (record.component, record.level)
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = TokenBucket(
+                    self.rate, self.burst, clock=self.clock
+                )
+            if not bucket.try_acquire():
+                self._pending_suppressed[key] = (
+                    self._pending_suppressed.get(key, 0) + 1
+                )
+                self._suppressed_total[key] = (
+                    self._suppressed_total.get(key, 0) + 1
+                )
+                return False
+            record.suppressed = self._pending_suppressed.pop(key, 0)
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(record)
+            stream = self.stream
+            if stream is not None:
+                try:
+                    stream.write(record.to_json() + "\n")
+                except (OSError, ValueError):
+                    pass  # a torn-down stream must never take the service with it
+        return True
+
+    # -- introspection (the /logz surface) -----------------------------------
+    def records(self, n: int | None = None, min_level: str | None = None) -> list:
+        """Newest-last copy of retained records (optionally filtered/tailed)."""
+        with self._lock:
+            out = list(self._ring)
+        if min_level is not None:
+            floor = _level_no(min_level)
+            out = [r for r in out if _level_no(r.level) >= floor]
+        if n is not None and n >= 0:
+            out = out[-n:]
+        return out
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring since the last clear."""
+        return self._dropped
+
+    def suppressed(self) -> dict:
+        """Total rate-limited drops per (component, level)."""
+        with self._lock:
+            return dict(self._suppressed_total)
+
+    def clear(self):
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+            self._buckets.clear()
+            self._pending_suppressed.clear()
+            self._suppressed_total.clear()
+
+    def __repr__(self):
+        return (
+            f"LogSink(min_level={self.min_level!r}, "
+            f"ring={len(self._ring)}/{self._ring.maxlen}, "
+            f"stream={'on' if self.stream is not None else 'off'})"
+        )
+
+
+class Logger:
+    """Per-component front over a shared sink.
+
+    The disabled path — a level below the sink's floor — is one dict hit
+    and one integer compare, cheap enough for per-batch calls on the
+    engine's hot loop.  Guard with :meth:`enabled_for` only when even
+    building the message/fields is expensive.
+    """
+
+    __slots__ = ("component", "sink")
+
+    def __init__(self, component: str, sink: LogSink):
+        self.component = component
+        self.sink = sink
+
+    def enabled_for(self, level: str) -> bool:
+        return self.sink.enabled_for(level)
+
+    def log(self, level: str, message: str, **fields) -> bool:
+        sink = self.sink
+        if _level_no(level) < sink._min_no:
+            return False
+        ctx = get_tracer().current()
+        record = LogRecord(
+            ts=time.time(),
+            level=level,
+            component=self.component,
+            message=message,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            span_id=ctx.span_id if ctx is not None else None,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            fields=fields or None,
+        )
+        return sink.emit(record)
+
+    def debug(self, message: str, **fields) -> bool:
+        return self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields) -> bool:
+        return self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields) -> bool:
+        return self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields) -> bool:
+        return self.log("error", message, **fields)
+
+    def __repr__(self):
+        return f"Logger(component={self.component!r}, sink={self.sink!r})"
+
+
+#: The process-wide default sink every component logger shares.
+_SINK = LogSink()
+_LOGGERS: dict = {}
+_LOGGERS_LOCK = threading.Lock()
+
+
+def get_log_sink() -> LogSink:
+    """The process-wide default log sink (ring-only until configured)."""
+    return _SINK
+
+
+def get_logger(component: str) -> Logger:
+    """Cached per-component logger over the default sink."""
+    logger = _LOGGERS.get(component)
+    if logger is None:
+        with _LOGGERS_LOCK:
+            logger = _LOGGERS.setdefault(component, Logger(component, _SINK))
+    return logger
+
+
+def configure_logging(
+    *,
+    stream=...,
+    min_level: str | None = None,
+    rate: float | None = None,
+    burst: float | None = None,
+    ring_capacity: int | None = None,
+) -> LogSink:
+    """Reconfigure the default sink in place (see :meth:`LogSink.configure`).
+
+    ``stream`` is typically ``sys.stderr`` for services; pass ``None`` to
+    return to ring-only.  Only the arguments given change.
+    """
+    return _SINK.configure(
+        stream=stream,
+        min_level=min_level,
+        rate=rate,
+        burst=burst,
+        ring_capacity=ring_capacity,
+    )

@@ -28,6 +28,7 @@ lookup and an add, cheap enough to leave on in production; the
 from __future__ import annotations
 
 import bisect
+import re
 import threading
 from dataclasses import dataclass
 
@@ -47,6 +48,38 @@ DEFAULT_LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
+
+
+#: Prometheus data-model grammar (exposition-format section of the spec).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_names(name: str, label_names: tuple, kind: str):
+    """Reject names the text exposition could not represent faithfully."""
+    if not _METRIC_NAME_RE.match(name):
+        raise ValidationError(f"invalid metric name {name!r}")
+    for label in label_names:
+        if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+            raise ValidationError(
+                f"invalid label name {label!r} on metric {name!r}"
+            )
+        if kind == "histogram" and label == "le":
+            raise ValidationError(
+                f"histogram {name!r} cannot declare the reserved label 'le'"
+            )
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline only (spec rule)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Label-value escaping: backslash, double-quote, newline (spec rule)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _label_key(label_names: tuple, labels: dict) -> tuple:
@@ -196,6 +229,7 @@ class MetricsRegistry:
                         f"with labels {existing.label_names}"
                     )
                 return existing
+            _validate_names(name, tuple(label_names), cls.kind)
             metric = cls(name, help, tuple(label_names), self._lock, **kwargs)
             self._metrics[name] = metric
             return metric
@@ -351,12 +385,15 @@ class MetricsRegistry:
         for name in sorted(snap):
             entry = snap[name]
             if entry["help"]:
-                lines.append(f"# HELP {name} {entry['help']}")
+                lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
             lines.append(f"# TYPE {name} {entry['kind']}")
             label_names = entry["labels"]
 
             def fmt_labels(key, extra=()):
-                parts = [f'{n}="{v}"' for n, v in zip(label_names, key)]
+                parts = [
+                    f'{n}="{_escape_label(str(v))}"'
+                    for n, v in zip(label_names, key)
+                ]
                 parts.extend(f'{n}="{v}"' for n, v in extra)
                 return "{" + ",".join(parts) + "}" if parts else ""
 

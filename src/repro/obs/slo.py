@@ -1,0 +1,396 @@
+"""Latency/error SLOs: rolling windows, error budgets, burn-rate alerts.
+
+An SLO turns a latency histogram into an operational verdict: "99% of
+interactive requests complete within 250 ms over a rolling hour".  This
+module tracks those verdicts live, Google-SRE style:
+
+* an :class:`SLObjective` declares the contract — which priority class it
+  watches, the latency bound that makes a request *good*, the target good
+  fraction, and the budget window.  Objectives are frozen scalar
+  dataclasses, so they ride :class:`~repro.serve.service.ServiceConfig`
+  across process boundaries unchanged;
+* an :class:`SLOTracker` ingests one event per finished request
+  (:meth:`~SLOTracker.observe`: latency + error flag + priority) into
+  per-second rolling bins, and answers budget questions over any window
+  ≤ its horizon;
+* **burn rate** is the observed bad fraction divided by the budgeted bad
+  fraction (``(bad/total) / (1 − target)``): burn 1 spends the budget
+  exactly at the window's end, burn 14.4 exhausts a 30-day budget in two
+  days.  Alerts are **multi-window**: a pair fires only when *both* the
+  short and the long window exceed the threshold — the short window makes
+  the alert fast, the long window keeps a brief blip from paging
+  (``fast`` = 5 m/1 h at 14.4×, ``slow`` = 1 h/6 h at 6×, both
+  overridable);
+* everything is driven by an injectable monotonic clock, so tests march
+  hours of traffic through in microseconds.
+
+The serving layer polls :meth:`~SLOTracker.fast_burn_active` at admission
+(cached per bin, so the per-request cost is one clock read and a compare)
+and sheds ``Priority.BULK`` while a fast-burn alert is live — the error
+budget literally gates the front door.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.util.checks import ValidationError, check_positive
+
+__all__ = [
+    "BurnAlert",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "SLObjective",
+    "SLOTracker",
+]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective (frozen, picklable by construction).
+
+    ``priority`` is the :class:`~repro.serve.batcher.Priority` *name*
+    (``"INTERACTIVE"``, ``"NORMAL"``, ``"BULK"``) this objective watches,
+    or None to watch every class.  A request is *good* when it did not
+    error and (if ``latency_s`` is set) completed within ``latency_s``.
+    """
+
+    name: str
+    target: float = 0.99  # fraction of events that must be good
+    latency_s: float | None = None  # good = completed within this bound
+    priority: str | None = None  # Priority name, or None = all classes
+    window_s: float = 3600.0  # error-budget accounting window
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("SLObjective needs a non-empty name")
+        if not 0.0 < self.target < 1.0:
+            raise ValidationError(
+                f"target must be in (0, 1), got {self.target} "
+                "(a target of exactly 1 leaves no error budget to burn)"
+            )
+        if self.latency_s is not None:
+            check_positive(self.latency_s, "latency_s")
+        check_positive(self.window_s, "window_s")
+
+    def matches(self, priority: str | None) -> bool:
+        return self.priority is None or self.priority == priority
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window alert rule: short AND long must exceed threshold."""
+
+    label: str
+    short_s: float
+    long_s: float
+    threshold: float
+
+    def __post_init__(self):
+        check_positive(self.short_s, "short_s")
+        check_positive(self.long_s, "long_s")
+        check_positive(self.threshold, "threshold")
+        if self.short_s >= self.long_s:
+            raise ValidationError(
+                f"burn window {self.label!r}: short_s ({self.short_s}) must be "
+                f"below long_s ({self.long_s})"
+            )
+
+
+#: Google-SRE multi-window pairs: fast page at 14.4x over 5m+1h, slow
+#: ticket at 6x over 1h+6h.
+DEFAULT_BURN_WINDOWS = (
+    BurnWindow("fast", 300.0, 3600.0, 14.4),
+    BurnWindow("slow", 3600.0, 21600.0, 6.0),
+)
+
+
+@dataclass(slots=True)
+class BurnAlert:
+    """One active burn-rate alert (a snapshot, not a live handle)."""
+
+    objective: str
+    window: str  # BurnWindow label ("fast" / "slow")
+    burn_short: float
+    burn_long: float
+    threshold: float
+    since: float  # tracker-clock time the alert became active
+
+    def as_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "window": self.window,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "threshold": self.threshold,
+            "since": self.since,
+        }
+
+
+class _Rolling:
+    """Per-second (good, bad) bins bounded by the tracker horizon."""
+
+    __slots__ = ("bin_s", "horizon_s", "_bins")
+
+    def __init__(self, horizon_s: float, bin_s: float):
+        self.bin_s = bin_s
+        self.horizon_s = horizon_s
+        self._bins: deque = deque()  # [bin_start, good, bad], oldest first
+
+    def add(self, now: float, good: int, bad: int):
+        start = now - (now % self.bin_s)
+        if self._bins and self._bins[-1][0] == start:
+            self._bins[-1][1] += good
+            self._bins[-1][2] += bad
+        else:
+            self._bins.append([start, good, bad])
+        floor = now - self.horizon_s
+        while self._bins and self._bins[0][0] + self.bin_s <= floor:
+            self._bins.popleft()
+
+    def counts(self, now: float, window_s: float) -> tuple[int, int]:
+        """(good, bad) over the trailing ``window_s`` seconds."""
+        floor = now - window_s
+        good = bad = 0
+        for start, g, b in reversed(self._bins):
+            if start + self.bin_s <= floor:
+                break
+            good += g
+            bad += b
+        return good, bad
+
+
+class SLOTracker:
+    """Rolling-window SLO accounting + multi-window burn-rate alerts.
+
+    Thread-safe: the serving loop records, admission and the
+    introspection server read concurrently.  Alert evaluation is cached
+    for one bin (default 1 s of tracker time), so per-request
+    :meth:`fast_burn_active` polls cost a clock read and a compare.
+    """
+
+    def __init__(
+        self,
+        objectives,
+        *,
+        clock=time.monotonic,
+        burn_windows=DEFAULT_BURN_WINDOWS,
+        bin_s: float = 1.0,
+    ):
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise ValidationError("SLOTracker needs at least one objective")
+        for obj in self.objectives:
+            if not isinstance(obj, SLObjective):
+                raise ValidationError(
+                    f"objectives must be SLObjective instances, got {obj!r}"
+                )
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate objective names: {sorted(names)}")
+        self.burn_windows = tuple(burn_windows)
+        self.bin_s = check_positive(bin_s, "bin_s")
+        self._clock = clock
+        horizon = max(
+            [w.long_s for w in self.burn_windows]
+            + [o.window_s for o in self.objectives]
+        )
+        self._rolling = {
+            o.name: _Rolling(horizon, self.bin_s) for o in self.objectives
+        }
+        self._alert_since: dict = {}  # (objective, window label) -> since
+        self._active: list = []  # cached BurnAlerts
+        self._next_eval = -float("inf")
+        self._events = 0
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+    def observe(
+        self,
+        *,
+        priority: str | None = None,
+        latency_s: float | None = None,
+        error: bool = False,
+    ):
+        """Record one finished request against every matching objective.
+
+        ``priority`` is the request's :class:`Priority` *name*; ``error``
+        marks failures and deadline expiries (always bad).  Latency is
+        judged per objective against its own ``latency_s`` bound.
+        """
+        now = self._clock()
+        with self._lock:
+            self._events += 1
+            for obj in self.objectives:
+                if not obj.matches(priority):
+                    continue
+                bad = error or (
+                    obj.latency_s is not None
+                    and latency_s is not None
+                    and latency_s > obj.latency_s
+                )
+                self._rolling[obj.name].add(now, 0 if bad else 1, 1 if bad else 0)
+
+    # -- burn / budget math --------------------------------------------------
+    def _objective(self, name: str) -> SLObjective:
+        for obj in self.objectives:
+            if obj.name == name:
+                return obj
+        raise ValidationError(f"unknown objective {name!r}")
+
+    def burn_rate(self, objective: str, window_s: float) -> float:
+        """Bad fraction over the window, divided by the budgeted fraction.
+
+        0 when the window saw no events (no evidence is not an alert).
+        """
+        obj = self._objective(objective)
+        now = self._clock()
+        with self._lock:
+            good, bad = self._rolling[objective].counts(now, window_s)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - obj.target)
+
+    def budget(self, objective: str) -> dict:
+        """Error-budget ledger over the objective's own window."""
+        obj = self._objective(objective)
+        now = self._clock()
+        with self._lock:
+            good, bad = self._rolling[objective].counts(now, obj.window_s)
+        total = good + bad
+        allowed = total * (1.0 - obj.target)
+        return {
+            "objective": obj.name,
+            "window_s": obj.window_s,
+            "events": total,
+            "bad": bad,
+            "good_fraction": good / total if total else 1.0,
+            "budget_events": allowed,
+            "budget_remaining": allowed - bad,
+            "budget_remaining_fraction": (
+                (allowed - bad) / allowed if allowed > 0 else 1.0
+            ),
+        }
+
+    # -- alerts --------------------------------------------------------------
+    def _evaluate_locked(self, now: float) -> list:
+        active = []
+        for obj in self.objectives:
+            rolling = self._rolling[obj.name]
+            budget = 1.0 - obj.target
+            for win in self.burn_windows:
+                key = (obj.name, win.label)
+                burns = []
+                for span in (win.short_s, win.long_s):
+                    good, bad = rolling.counts(now, span)
+                    total = good + bad
+                    burns.append(
+                        (bad / total) / budget if total else 0.0
+                    )
+                burn_short, burn_long = burns
+                if burn_short >= win.threshold and burn_long >= win.threshold:
+                    since = self._alert_since.setdefault(key, now)
+                    active.append(
+                        BurnAlert(
+                            objective=obj.name,
+                            window=win.label,
+                            burn_short=burn_short,
+                            burn_long=burn_long,
+                            threshold=win.threshold,
+                            since=since,
+                        )
+                    )
+                else:
+                    self._alert_since.pop(key, None)
+        return active
+
+    def _refresh(self, force: bool = False) -> list:
+        now = self._clock()
+        with self._lock:
+            if force or now >= self._next_eval:
+                was = {(a.objective, a.window) for a in self._active}
+                self._active = self._evaluate_locked(now)
+                self._next_eval = now + self.bin_s
+                is_now = {(a.objective, a.window) for a in self._active}
+                fired, cleared = is_now - was, was - is_now
+            else:
+                fired = cleared = ()
+            active = list(self._active)
+        if fired or cleared:
+            from repro.obs.log import get_logger
+
+            log = get_logger("obs.slo")
+            for objective, window in sorted(fired):
+                log.warning(
+                    "burn-rate alert firing", objective=objective, window=window
+                )
+            for objective, window in sorted(cleared):
+                log.info(
+                    "burn-rate alert cleared", objective=objective, window=window
+                )
+        return active
+
+    def alerts(self, *, force: bool = False) -> list:
+        """Currently active :class:`BurnAlert`\\ s (cached for one bin)."""
+        return self._refresh(force)
+
+    def fast_burn_active(self, objective: str | None = None) -> bool:
+        """Is any (or the named objective's) ``fast`` pair alerting now?
+
+        This is the admission-control poll: cached per bin, so calling it
+        per request costs a clock read and a set lookup.
+        """
+        for alert in self._refresh():
+            if alert.window == "fast" and (
+                objective is None or alert.objective == objective
+            ):
+                return True
+        return False
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready document: per-objective budgets/burns + active alerts."""
+        alerts = self._refresh(force=True)
+        now = self._clock()
+        objectives = []
+        for obj in self.objectives:
+            entry = {
+                "name": obj.name,
+                "priority": obj.priority,
+                "target": obj.target,
+                "latency_s": obj.latency_s,
+                "budget": self.budget(obj.name),
+                "burn": {},
+            }
+            with self._lock:
+                rolling = self._rolling[obj.name]
+                for win in self.burn_windows:
+                    for label, span in (
+                        (f"{win.label}_short", win.short_s),
+                        (f"{win.label}_long", win.long_s),
+                    ):
+                        good, bad = rolling.counts(now, span)
+                        total = good + bad
+                        entry["burn"][label] = (
+                            (bad / total) / (1.0 - obj.target) if total else 0.0
+                        )
+            objectives.append(entry)
+        return {
+            "events": self._events,
+            "objectives": objectives,
+            "alerts": [a.as_dict() for a in alerts],
+        }
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`snapshot` (uniform with the other stats holders)."""
+        return self.snapshot()
+
+    def __repr__(self):
+        return (
+            f"SLOTracker(objectives={[o.name for o in self.objectives]}, "
+            f"events={self._events}, alerts={len(self._active)})"
+        )

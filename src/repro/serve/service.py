@@ -40,7 +40,7 @@ from dataclasses import dataclass
 
 from repro.engine.engine import ExecutionEngine
 from repro.engine.stages import Batch, Request
-from repro.obs import get_tracer
+from repro.obs import get_logger, get_tracer
 from repro.serve.batcher import MicroBatcher, PendingRequest, Priority
 from repro.serve.stats import ServiceStats
 from repro.util.checks import ReproError, check_positive
@@ -76,14 +76,26 @@ class ServiceConfig:
     kernel on ``full_lane_backend`` while straggler buckets take the
     per-pair sweep on ``straggler_backend`` (see
     :class:`repro.search.BandedVerifyStage`), again bit-identically.
+
+    ``slos`` declares the service's objectives (a tuple of
+    :class:`~repro.obs.slo.SLObjective`); a non-empty tuple gives the
+    service an :class:`~repro.obs.slo.SLOTracker` that every resolution
+    feeds, and while any objective's *fast* burn-rate pair is alerting,
+    admission sheds the classes named in ``shed_priorities``
+    (:class:`Priority` names, BULK by default).  Shedding only ever
+    refuses new requests at the front door — accepted work always runs
+    to its normal resolution, so results never depend on the SLO state.
     """
 
     route_backends: bool = False
     full_lane_backend: str = "simd"
     straggler_backend: str = "rowscan"
     full_lane_fraction: float = 0.5
+    slos: tuple = ()
+    shed_priorities: tuple = ("BULK",)
 
     def __post_init__(self):
+        from repro.obs.slo import SLObjective
         from repro.util.checks import ValidationError, check_no_callables
 
         check_no_callables(self)
@@ -91,6 +103,18 @@ class ServiceConfig:
             raise ValidationError(
                 f"full_lane_fraction must be in (0, 1], got {self.full_lane_fraction}"
             )
+        for obj in self.slos:
+            if not isinstance(obj, SLObjective):
+                raise ValidationError(
+                    f"slos entries must be SLObjective, got {obj!r}"
+                )
+        names = {p.name for p in Priority}
+        for shed in self.shed_priorities:
+            if shed not in names:
+                raise ValidationError(
+                    f"shed_priorities entries must be Priority names "
+                    f"{sorted(names)}, got {shed!r}"
+                )
 
     def backend_for(self, batch_size: int, target_batch: int) -> str | None:
         """Backend override for a score bucket (None = engine default)."""
@@ -155,7 +179,12 @@ class AlignmentService:
     config:
         :class:`ServiceConfig` hardening knobs — per-bucket backend
         routing (``simd`` full lanes / ``rowscan`` stragglers) is off by
-        default.
+        default; ``config.slos`` declares the SLO contract.
+    slo:
+        An explicit :class:`~repro.obs.slo.SLOTracker` to feed (e.g. one
+        shared across a router's per-shard services).  Defaults to a
+        private tracker built from ``config.slos``, or None (no SLO
+        accounting, no shedding) when no objectives are declared.
     """
 
     def __init__(
@@ -172,6 +201,7 @@ class AlignmentService:
         database=None,
         search_kwargs: dict | None = None,
         config: ServiceConfig | None = None,
+        slo=None,
     ):
         self._owned_engine = None
         if engine is None:
@@ -191,6 +221,13 @@ class AlignmentService:
         self.batcher = MicroBatcher(target_batch=target_batch, max_linger=max_linger)
         self.config = config if config is not None else ServiceConfig()
         self.stats = ServiceStats()
+        if slo is None and self.config.slos:
+            from repro.obs.slo import SLOTracker
+
+            slo = SLOTracker(self.config.slos)
+        self.slo = slo
+        self._shed = frozenset(self.config.shed_priorities)
+        self._log = get_logger("serve.service")
         if database is not None and hasattr(database, "__next__"):
             database = list(database)  # an iterator would be consumed once
         self._database = database
@@ -288,14 +325,32 @@ class AlignmentService:
     def _admit(
         self, kind, query, subject, priority, timeout, meta=None
     ) -> PendingRequest:
+        priority = Priority(priority)
         if self._closed:
-            self.stats.note_reject("closed")
+            self.stats.note_admission_reject("closed", priority.name)
             raise ServiceClosedError("service is closed")
         self.start()
-        priority = Priority(priority)
+        if (
+            self.slo is not None
+            and priority.name in self._shed
+            and self.slo.fast_burn_active()
+        ):
+            # The error budget gates the front door: while a fast burn
+            # pair is alerting, sheddable classes are refused outright so
+            # the protected classes keep their latency.  Nothing accepted
+            # is ever dropped — results stay bit-identical.
+            self.stats.note_admission_reject("shed", priority.name)
+            self._log.warning(
+                "shedding at admission: fast burn-rate alert active",
+                priority=priority.name,
+                kind=kind,
+            )
+            raise ServiceOverloadedError(
+                f"{priority.name} shed: fast burn-rate alert active"
+            )
         cap = self.capacity_for(priority)
         if self._depth >= cap:
-            self.stats.note_reject("queue_full")
+            self.stats.note_admission_reject("queue_full", priority.name)
             raise ServiceOverloadedError(
                 f"queue depth {self._depth} at {priority.name} capacity {cap}"
             )
@@ -321,6 +376,13 @@ class AlignmentService:
 
     def _on_settled(self, fut):
         self._depth -= 1
+
+    def _slo_observe(self, req, *, latency_s=None, error=False):
+        """Feed one accepted request's resolution into the SLO tracker."""
+        if self.slo is not None:
+            self.slo.observe(
+                priority=req.priority.name, latency_s=latency_s, error=error
+            )
 
     def _enqueue(self, req: PendingRequest):
         full = self.batcher.add(req, self._loop.time())
@@ -397,7 +459,8 @@ class AlignmentService:
             if req.future.done():  # caller cancelled while buffered
                 continue
             if req.deadline is not None and now >= req.deadline:
-                self.stats.note_reject("deadline")
+                self.stats.note_deadline("dispatch")
+                self._slo_observe(req, error=True)
                 req.future.set_exception(
                     DeadlineExceededError(
                         f"deadline passed {now - req.deadline:.4f}s before execution"
@@ -473,6 +536,7 @@ class AlignmentService:
         except Exception as exc:
             for r in live:
                 self.stats.note_failed()
+                self._slo_observe(r, error=True)
                 if not r.future.done():
                     r.future.set_exception(exc)
             return
@@ -481,7 +545,8 @@ class AlignmentService:
             # the thread-side deadline gate never filled a lane.
             self.stats.note_batch(len(executable), cause)
         for r in expired:
-            self.stats.note_reject("deadline")
+            self.stats.note_deadline("execute")
+            self._slo_observe(r, error=True)
             if not r.future.done():
                 r.future.set_exception(
                     DeadlineExceededError("deadline passed before execution")
@@ -490,7 +555,9 @@ class AlignmentService:
         for r, res in zip(executable, results):
             if not r.future.done():
                 r.future.set_result(int(res) if kind == "score" else res)
-                self.stats.note_complete(now - r.submitted)
+                latency = now - r.submitted
+                self.stats.note_complete(latency)
+                self._slo_observe(r, latency_s=latency)
 
     def _engine_for_search(self, scheme) -> ExecutionEngine:
         """Shared per-scheme search engine (loop thread only)."""
@@ -534,11 +601,13 @@ class AlignmentService:
             )
         except Exception as exc:
             self.stats.note_failed()
+            self._slo_observe(req, error=True)
             if not req.future.done():
                 req.future.set_exception(exc)
             return
         if hits is _EXPIRED:
-            self.stats.note_reject("deadline")
+            self.stats.note_deadline("execute")
+            self._slo_observe(req, error=True)
             if not req.future.done():
                 req.future.set_exception(
                     DeadlineExceededError("deadline passed before execution")
@@ -546,7 +615,9 @@ class AlignmentService:
             return
         if not req.future.done():
             req.future.set_result(hits)
-            self.stats.note_complete(self._loop.time() - req.submitted)
+            latency = self._loop.time() - req.submitted
+            self.stats.note_complete(latency)
+            self._slo_observe(req, latency_s=latency)
 
     async def _flush_loop(self):
         """Single linger timer: dispatches buckets whose wait has expired."""

@@ -85,6 +85,16 @@ class ServiceStats:
             "Requests shed at admission or expiry, by cause",
             labels=("cause",),
         )
+        self._deadline = r.counter(
+            "serve_deadline_exceeded_total",
+            "Requests expired past their deadline, by pipeline stage",
+            labels=("stage",),
+        )
+        self._admission_rejected = r.counter(
+            "serve_admission_rejected_total",
+            "Requests refused at the admission gate, by cause and priority",
+            labels=("cause", "priority"),
+        )
         self._flushes = r.counter(
             "serve_batch_flushes_total",
             "Micro-batch dispatches, by flush cause",
@@ -112,6 +122,26 @@ class ServiceStats:
 
     def note_reject(self, cause: str):
         self._rejected.inc(cause=cause)
+
+    def note_deadline(self, stage: str):
+        """A request expired past its deadline at ``stage``.
+
+        Increments the dedicated stage-labeled counter *and* the legacy
+        ``serve_rejected_total{cause="deadline"}`` series, so every
+        pre-existing consumer of ``rejected`` keeps its numbers.
+        """
+        self._rejected.inc(cause="deadline")
+        self._deadline.inc(stage=stage)
+
+    def note_admission_reject(self, cause: str, priority: str):
+        """The admission gate refused a request outright (never accepted).
+
+        Also feeds the legacy cause-only ``serve_rejected_total`` series;
+        the dedicated counter adds the priority dimension the shed loop
+        needs (was BULK actually the class being shed?).
+        """
+        self._rejected.inc(cause=cause)
+        self._admission_rejected.inc(cause=cause, priority=priority)
 
     def note_batch(self, size: int, cause: str):
         self._flushes.inc(cause=cause)
@@ -153,6 +183,19 @@ class ServiceStats:
     def rejected(self) -> dict:
         """cause → count (queue_full, deadline, closed)."""
         return {cause: int(c) for (cause,), c in self._rejected.series().items()}
+
+    @property
+    def deadline_exceeded(self) -> dict:
+        """pipeline stage (admission | dispatch | execute) → expiries."""
+        return {stage: int(c) for (stage,), c in self._deadline.series().items()}
+
+    @property
+    def admission_rejected(self) -> dict:
+        """(cause, priority) → requests the admission gate refused."""
+        return {
+            (cause, priority): int(c)
+            for (cause, priority), c in self._admission_rejected.series().items()
+        }
 
     @property
     def flush_causes(self) -> dict:
@@ -209,6 +252,13 @@ class ServiceStats:
                 "completed": self.completed,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "deadline_exceeded": self.deadline_exceeded,
+                "admission_rejected": {
+                    f"{cause}:{priority}": count
+                    for (cause, priority), count in sorted(
+                        self.admission_rejected.items()
+                    )
+                },
                 "batches": batches,
                 "batched_requests": batched,
                 "flush_causes": self.flush_causes,

@@ -207,6 +207,23 @@ class ShardWorkerPool:
             and fingerprint == self._fingerprint
         )
 
+    def liveness(self) -> dict | None:
+        """Per-shard worker aliveness, or None before the pool has started.
+
+        Deliberately lock-free: the pool lock is held for the full
+        duration of a dispatched search, and a health probe must not
+        queue behind one.  ``_procs`` is only ever rebound wholesale or
+        element-assigned (both atomic in CPython), so reading a stale
+        snapshot is the worst case — acceptable for a health signal.
+        """
+        procs = self._procs
+        if not self._started or not procs:
+            return None
+        return {
+            shard_id: proc is not None and proc.is_alive()
+            for shard_id, proc in enumerate(procs)
+        }
+
     # -- lifecycle -----------------------------------------------------------
     def start(self, database=None) -> "ShardWorkerPool":
         """Publish the reference and spawn the workers (idempotent)."""

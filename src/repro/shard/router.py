@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.obs import get_tracer
+from repro.obs import get_logger, get_tracer
+from repro.obs.health import HealthRegistry, engine_probe, pool_probe, service_probe
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.search.pipeline import _chunk_source, classify_database, resolve_windowing
 from repro.search.topk import TopKReducer
 from repro.serve.batcher import Priority
-from repro.serve.service import AlignmentService
+from repro.serve.service import AlignmentService, ServiceOverloadedError
 from repro.util.checks import ValidationError, check_positive
 from repro.workloads.chunks import partition_chunks
 
@@ -91,6 +93,8 @@ class RouterStats:
             "completed": sum(s["completed"] for s in snaps),
             "failed": sum(s["failed"] for s in snaps),
             "rejected": merged_dict("rejected"),
+            "deadline_exceeded": merged_dict("deadline_exceeded"),
+            "admission_rejected": merged_dict("admission_rejected"),
             "batches": batches,
             "batched_requests": batched,
             "flush_causes": merged_dict("flush_causes"),
@@ -144,9 +148,23 @@ class ShardRouter:
         query-level fan-out concurrency.  Batch queries into one
         ``pool.search_topk(queries)`` call where search throughput
         matters.
+    slo:
+        A shared :class:`~repro.obs.slo.SLOTracker` every shard service
+        feeds.  Built automatically (and shared across shards) when
+        ``config.slos`` declares objectives, so burn-rate shedding trips
+        on the aggregate burn rather than one shard's slice.
     service_kwargs:
         Everything else (engine, scheme, backend, target_batch, config,
         ...) forwarded to each :class:`AlignmentService`.
+
+    The router also carries the operational surface: ``health`` is a
+    :class:`~repro.obs.health.HealthRegistry` with per-shard engine and
+    service probes (plus a pool probe when fronting one) — routing skips
+    shards whose readiness probe fails, and a search whose fan-in would
+    be partial is rejected outright (``router_rejected_total``) rather
+    than silently merged from a subset; ``scrape_registry()`` merges the
+    process registry, the router's own counters and every shard's
+    service registry (labeled ``shard=i``) into one scrapeable view.
     """
 
     def __init__(
@@ -160,6 +178,7 @@ class ShardRouter:
         overlap: int | None = None,
         max_query: int | None = None,
         search_kwargs: dict | None = None,
+        slo=None,
         **service_kwargs,
     ):
         self._search_kwargs = dict(search_kwargs or {})
@@ -190,15 +209,54 @@ class ShardRouter:
                         window, overlap = resolve_windowing(max_query, window, overlap)
                     chunks = list(_chunk_source(value, window, overlap))
                 shard_dbs = partition_chunks(iter(chunks), num_shards)
+            if slo is None:
+                cfg = service_kwargs.get("config")
+                if cfg is not None and getattr(cfg, "slos", ()):
+                    from repro.obs.slo import SLOTracker
+
+                    # One tracker shared by every shard: the SLO contract
+                    # is service-wide, and shedding must trip on the
+                    # aggregate burn, not one shard's slice of it.
+                    slo = SLOTracker(cfg.slos)
             self.services = [
                 AlignmentService(
                     database=shard_dbs[i],
                     search_kwargs=dict(self._search_kwargs),
+                    slo=slo,
                     **service_kwargs,
                 )
                 for i in range(num_shards)
             ]
+        if slo is None:
+            slo = next((svc.slo for svc in self.services if svc.slo is not None), None)
+        self.slo = slo
+        self._shed = frozenset().union(
+            *(svc.config.shed_priorities for svc in self.services)
+        )
         self.stats = RouterStats(self.services)
+        self.registry = MetricsRegistry()
+        self._rejected = self.registry.counter(
+            "router_rejected_total",
+            "Requests the router refused before any shard saw them, by cause",
+            labels=("cause",),
+        )
+        self._unready_skips = self.registry.counter(
+            "router_unready_skips_total",
+            "Times routing skipped a shard whose readiness probe failed",
+            labels=("shard",),
+        )
+        self._log = get_logger("shard.router")
+        self.health = HealthRegistry()
+        self._ready_probes: list = []
+        for i, svc in enumerate(self.services):
+            # Engine death means restart (liveness); a saturated or
+            # closed admission queue means stop routing here (readiness).
+            self.health.add_probe(f"engine:{i}", engine_probe(svc.engine))
+            ready = service_probe(svc)
+            self.health.add_probe(f"service:{i}", ready, liveness=False)
+            self._ready_probes.append(ready)
+        if pool is not None:
+            self.health.add_probe("pool", pool_probe(pool))
         self._rr = 0  # round-robin cursor for load ties
         self._closed = False
 
@@ -239,17 +297,39 @@ class ShardRouter:
     def capacity_for(self, priority) -> int:
         return sum(svc.capacity_for(priority) for svc in self.services)
 
+    def _shard_ready(self, index: int) -> bool:
+        """One shard's readiness probe (a raising probe is unready)."""
+        try:
+            result = self._ready_probes[index]()
+        except Exception:
+            return False
+        return bool(getattr(result, "healthy", result))
+
     def _pick(self) -> AlignmentService:
-        """Least-loaded service; round-robin breaks depth ties."""
+        """Least-loaded *ready* service; round-robin breaks depth ties.
+
+        Shards whose readiness probe fails (closed, dead flusher,
+        saturated queue) are skipped and counted.  When every shard is
+        unready the plain least-loaded choice stands — the service's own
+        admission gate gives the caller an honest rejection, which beats
+        the router inventing a new failure mode.
+        """
         count = len(self.services)
         self._rr = (self._rr + 1) % count
         best, best_key = None, None
+        fallback, fallback_key = None, None
         for offset in range(count):
-            svc = self.services[(self._rr + offset) % count]
+            index = (self._rr + offset) % count
+            svc = self.services[index]
             key = svc.queue_depth
+            if fallback_key is None or key < fallback_key:
+                fallback, fallback_key = svc, key
+            if not self._shard_ready(index):
+                self._unready_skips.inc(shard=index)
+                continue
             if best_key is None or key < best_key:
                 best, best_key = svc, key
-        return best
+        return best if best is not None else fallback
 
     async def submit(
         self, query, subject, *, priority=Priority.NORMAL, timeout: float | None = None
@@ -285,6 +365,34 @@ class ShardRouter:
         calls serialize on the pool's lock (single query set in flight —
         see the ``pool`` parameter note).
         """
+        priority = Priority(priority)
+        if (
+            self.slo is not None
+            and priority.name in self._shed
+            and self.slo.fast_burn_active()
+        ):
+            # Mirrors the per-service admission shed for the pool path,
+            # where no AlignmentService gate sits in front of the search.
+            self._rejected.inc(cause="shed")
+            self._log.warning(
+                "search shed at router: fast burn-rate alert active",
+                priority=priority.name,
+            )
+            raise ServiceOverloadedError(
+                f"{priority.name} search shed: fast burn-rate alert active"
+            )
+        verdict = self.health.readiness()
+        if not verdict.healthy:
+            # A search needs every shard (the database is partitioned);
+            # merging a partial fan-in would silently change the answer.
+            # Reject instead — accepted searches stay bit-identical.
+            self._rejected.inc(cause="unready")
+            self._log.warning(
+                "search rejected: shards unready", failing=verdict.failing()
+            )
+            raise ServiceOverloadedError(
+                f"search rejected, shards unready: {verdict.failing()}"
+            )
         tracer = get_tracer()
         if self.pool is not None:
             merged = dict(self._search_kwargs)
@@ -323,6 +431,22 @@ class ShardRouter:
             return reducer.results()[0]
 
     # -- introspection --------------------------------------------------------
+    def scrape_registry(self) -> MetricsRegistry:
+        """One merged registry for ``/metrics``: process + router + shards.
+
+        Per-shard service registries all use the same ``serve_*`` metric
+        names, so each merges in under an extra ``shard`` label; the
+        process-wide registry (engine/search/pool instrumentation) and
+        the router's own counters merge in unlabeled.  Built fresh per
+        scrape — the live registries keep the state.
+        """
+        out = MetricsRegistry()
+        out.merge(get_registry().snapshot())
+        out.merge(self.registry.snapshot())
+        for i, svc in enumerate(self.services):
+            out.merge(svc.stats.registry.snapshot(), extra_labels={"shard": i})
+        return out
+
     def report(self) -> str:
         """Aggregate + per-shard serving tables (perf.report format)."""
         from repro.perf.report import router_stats_table

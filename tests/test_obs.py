@@ -496,3 +496,86 @@ class TestPoolPropagation:
         with ShardWorkerPool(ref, plan=_plan(k=3), timeout=120) as pool:
             pool.search_topk(queries)
         assert global_obs.spans() == []
+
+
+# -- Prometheus text-format conformance --------------------------------------
+class TestPrometheusConformance:
+    """The 0.0.4 exposition rules a real scraper depends on."""
+
+    def test_help_line_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", help="line one\nline two \\ backslash").inc()
+        text = reg.to_prometheus()
+        assert "# HELP esc_total line one\\nline two \\\\ backslash" in text
+        assert "\nline two" not in text.split("# HELP", 1)[1].split("\n", 1)[0]
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("lv_total", labels=("path",))
+        c.inc(path='a"b\\c\nd')
+        text = reg.to_prometheus()
+        assert 'lv_total{path="a\\"b\\\\c\\nd"} 1' in text
+        # Each sample stays one line: escaping kept the newline literal.
+        sample_lines = [l for l in text.splitlines() if l.startswith("lv_total{")]
+        assert len(sample_lines) == 1
+
+    def test_label_order_follows_declaration(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ord_total", labels=("zeta", "alpha"))
+        c.inc(zeta="z", alpha="a")
+        assert 'ord_total{zeta="z",alpha="a"} 1' in reg.to_prometheus()
+
+    def test_series_are_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        c = reg.counter("s_total", help="h", labels=("k",))
+        c.inc(k="b")
+        c.inc(k="a")
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert lines.index("# HELP s_total h") < lines.index("# TYPE s_total counter")
+        a = lines.index('s_total{k="a"} 1')
+        b = lines.index('s_total{k="b"} 1')
+        assert lines.index("# TYPE s_total counter") < a < b
+        assert text.endswith("\n")  # exposition must end with a newline
+
+    def test_histogram_invariants(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", labels=("op",), buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v, op="x")
+        lines = reg.to_prometheus().splitlines()
+        buckets = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        # Cumulative and monotone, le is the LAST label, +Inf == _count.
+        assert buckets == [
+            'lat_seconds_bucket{op="x",le="0.01"} 1',
+            'lat_seconds_bucket{op="x",le="0.1"} 2',
+            'lat_seconds_bucket{op="x",le="1.0"} 3',
+            'lat_seconds_bucket{op="x",le="+Inf"} 4',
+        ]
+        assert 'lat_seconds_count{op="x"} 4' in lines
+        (sum_line,) = [l for l in lines if l.startswith("lat_seconds_sum")]
+        assert float(sum_line.split()[-1]) == pytest.approx(5.555)
+
+    def test_invalid_names_rejected_at_registration(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            reg.counter("bad-name")
+        with pytest.raises(ValidationError):
+            reg.counter("9starts_with_digit")
+        with pytest.raises(ValidationError):
+            reg.counter("ok_total", labels=("bad-label",))
+        with pytest.raises(ValidationError):
+            reg.counter("ok_total", labels=("__reserved",))
+        with pytest.raises(ValidationError):
+            reg.histogram("hist_seconds", labels=("le",))  # reserved for buckets
+        reg.counter("ok:total", labels=("ok_label",)).inc(ok_label="v")  # colons OK
+
+    def test_merged_shard_labels_scrape_cleanly(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("req_total", help="reqs", labels=("cause",)).inc(cause="a")
+        parent.merge(worker.snapshot(), extra_labels={"shard": 0})
+        parent.merge(worker.snapshot(), extra_labels={"shard": 1})
+        text = parent.to_prometheus()
+        assert 'req_total{cause="a",shard="0"} 1' in text
+        assert 'req_total{cause="a",shard="1"} 1' in text

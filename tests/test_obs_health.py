@@ -1,0 +1,222 @@
+"""Tests for health probes and readiness-aware routing (repro.obs.health).
+
+Covers the liveness/readiness contract:
+
+* registry mechanics — liveness vs readiness sets, duplicate rejection,
+  raising probes becoming unhealthy results, verdict composition;
+* the layer probe factories — engine executor, service admission queue,
+  shard-pool workers (dead workers, lazy-start pools, clock drift);
+* the router integration — per-shard probes installed at construction,
+  ``_pick`` skipping unready shards (counted), and searches rejected
+  outright when the fan-in would be partial.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import HealthRegistry, MetricsRegistry, ProbeResult
+from repro.obs.health import engine_probe, pool_probe, service_probe
+from repro.serve import AlignmentService, Priority, ServiceOverloadedError
+from repro.shard import ShardPlan, ShardRouter, ShardWorkerPool
+from repro.util.checks import ValidationError
+
+
+class TestHealthRegistry:
+    def test_verdict_composition(self):
+        reg = HealthRegistry()
+        reg.add_probe("good", lambda: True)
+        reg.add_probe("detail", lambda: ProbeResult(True, "fine", data={"n": 1}))
+        verdict = reg.readiness()
+        assert verdict.healthy and verdict.failing() == []
+        assert verdict.probes["detail"].data == {"n": 1}
+        assert "ok" in verdict.summary()
+        doc = verdict.as_dict()
+        assert doc["kind"] == "readiness" and doc["probes"]["good"]["healthy"]
+
+    def test_one_failing_probe_fails_the_verdict(self):
+        reg = HealthRegistry()
+        reg.add_probe("good", lambda: True)
+        reg.add_probe("bad", lambda: ProbeResult(False, "broken"))
+        verdict = reg.liveness()
+        assert not verdict.healthy and verdict.failing() == ["bad"]
+        assert "bad" in verdict.summary()
+
+    def test_raising_probe_is_unhealthy_not_a_crash(self):
+        reg = HealthRegistry()
+
+        def boom():
+            raise RuntimeError("dead layer")
+
+        reg.add_probe("boom", boom)
+        verdict = reg.readiness()
+        assert not verdict.healthy
+        assert "dead layer" in verdict.probes["boom"].detail
+
+    def test_liveness_and_readiness_are_distinct_sets(self):
+        reg = HealthRegistry()
+        reg.add_probe("live-only", lambda: False, readiness=False)
+        reg.add_probe("ready-only", lambda: False, liveness=False)
+        assert reg.liveness().failing() == ["live-only"]
+        assert reg.readiness().failing() == ["ready-only"]
+
+    def test_validation(self):
+        reg = HealthRegistry()
+        reg.add_probe("x", lambda: True)
+        with pytest.raises(ValidationError):
+            reg.add_probe("x", lambda: True)  # no silent shadowing
+        with pytest.raises(ValidationError):
+            reg.add_probe("y", "not-callable")
+        with pytest.raises(ValidationError):
+            reg.add_probe("z", lambda: True, liveness=False, readiness=False)
+        with pytest.raises(ValidationError):
+            reg.check("vibes")
+        reg.add_probe("odd", lambda: "yes")
+        assert not reg.readiness().healthy  # bad return type is unhealthy
+
+    def test_remove_probe(self):
+        reg = HealthRegistry()
+        reg.add_probe("x", lambda: False)
+        reg.remove_probe("x")
+        assert reg.names() == [] and reg.readiness().healthy
+
+
+class TestProbeFactories:
+    def test_engine_probe(self):
+        from repro.engine import ExecutionEngine
+
+        engine = ExecutionEngine(None)
+        probe = engine_probe(engine)
+        result = probe()
+        assert result.healthy and result.data["lanes"] >= 1
+        engine.close()
+        assert not probe().healthy
+
+    def test_service_probe_states(self):
+        async def main():
+            svc = AlignmentService(scheme=None)
+            probe = service_probe(svc, max_fill=0.5)
+            assert probe().healthy  # unstarted service is ready
+            async with svc:
+                assert probe().healthy
+                svc._depth = svc.max_queue_depth  # saturate
+                result = probe()
+                assert not result.healthy and "saturated" in result.detail
+                svc._depth = 0
+            assert not probe().healthy  # closed service is not ready
+            return True
+
+        assert asyncio.run(main())
+        with pytest.raises(ValidationError):
+            service_probe(AlignmentService(scheme=None), max_fill=2.0)
+
+    def test_pool_probe_fake_states(self):
+        class FakePool:
+            closed = False
+            alive = None
+
+            def liveness(self):
+                return self.alive
+
+        pool = FakePool()
+        reg = MetricsRegistry()
+        probe = pool_probe(pool, registry=reg)
+        lazy = probe()
+        assert lazy.healthy and "lazily" in lazy.detail  # unstarted pool
+        pool.alive = {0: True, 1: True}
+        assert probe().healthy
+        pool.alive = {0: True, 1: False}
+        dead = probe()
+        assert not dead.healthy and "[1]" in dead.detail
+        pool.closed = True
+        assert not probe().healthy
+
+    def test_pool_probe_clock_drift(self):
+        class FakePool:
+            closed = False
+
+            def liveness(self):
+                return {0: True, 1: True}
+
+        reg = MetricsRegistry()
+        offsets = reg.gauge(
+            "pool_shard_clock_offset_us", "offsets", labels=("shard",)
+        )
+        offsets.set(5.0, shard=0)
+        offsets.set(900.0, shard=1)
+        loose = pool_probe(FakePool(), registry=reg)
+        assert loose().healthy  # no bound configured
+        tight = pool_probe(FakePool(), registry=reg, max_clock_offset_us=100.0)
+        result = tight()
+        assert not result.healthy and "drifted" in result.detail
+        assert result.data["clock_offset_us"]["1"] == 900.0
+
+    def test_real_pool_liveness_is_none_before_start(self):
+        pool = ShardWorkerPool(ShardPlan(num_shards=2))
+        assert pool.liveness() is None
+        assert pool_probe(pool)().healthy
+
+
+class TestRouterHealth:
+    def test_per_shard_probes_installed(self):
+        router = ShardRouter(num_shards=2)
+        assert router.health.names() == [
+            "engine:0",
+            "engine:1",
+            "service:0",
+            "service:1",
+        ]
+        assert router.health.readiness().healthy
+        assert router.health.liveness().healthy
+
+    def test_pick_skips_unready_shard(self):
+        async def main():
+            async with ShardRouter(num_shards=2) as router:
+                router.services[1]._depth = router.services[1].max_queue_depth
+                for _ in range(4):
+                    picked = router._pick()
+                    assert picked is router.services[0]
+                skips = router.registry.get("router_unready_skips_total")
+                assert skips.value(shard=1) == 4
+                # Scoring still lands on the ready shard.
+                score = await router.submit("ACGT", "ACGT")
+                assert isinstance(score, int)
+                router.services[1]._depth = 0
+            return True
+
+        assert asyncio.run(main())
+
+    def test_all_unready_falls_back_to_least_loaded(self):
+        router = ShardRouter(num_shards=2)
+        for svc in router.services:
+            svc._depth = svc.max_queue_depth
+        assert router._pick() is not None  # honest rejection beats a crash
+
+    def test_search_rejected_when_any_shard_unready(self):
+        async def main():
+            async with ShardRouter(num_shards=2) as router:
+                router.services[1]._depth = router.services[1].max_queue_depth
+                with pytest.raises(ServiceOverloadedError, match="unready"):
+                    await router.submit_search("ACGT")
+                rejected = router.registry.get("router_rejected_total")
+                assert rejected.value(cause="unready") == 1
+                router.services[1]._depth = 0
+            return True
+
+        assert asyncio.run(main())
+
+    def test_scrape_registry_merges_shards_with_labels(self):
+        async def main():
+            async with ShardRouter(num_shards=2) as router:
+                await router.submit("ACGT", "ACGT")
+                scrape = router.scrape_registry()
+                submitted = scrape.get("serve_submitted_total")
+                per_shard = submitted.series()
+                assert sum(per_shard.values()) == 1
+                assert all(key in (("0",), ("1",)) for key in per_shard)
+                assert scrape.get("router_rejected_total") is not None
+                text = scrape.to_prometheus()
+                assert 'serve_submitted_total{shard="' in text
+            return True
+
+        assert asyncio.run(main())

@@ -1,0 +1,211 @@
+"""Tests for structured logging (repro.obs.log).
+
+Covers the operational-logging contract:
+
+* record shape — JSON-lines output, automatic trace/span correlation
+  from the ambient tracer, field merging, ``default=str`` resilience;
+* the sink pipeline — level gating (and its one-compare disabled path),
+  per-``(component, level)`` token-bucket rate limiting with suppressed
+  counts carried onto the next passing record, the bounded ring, and
+  stream writes that survive a torn-down stream;
+* process-global wiring — cached per-component loggers all see an
+  in-place :func:`configure_logging`.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    LEVELS,
+    LogRecord,
+    LogSink,
+    Logger,
+    TokenBucket,
+    Tracer,
+    configure_logging,
+    get_log_sink,
+    get_logger,
+)
+from repro.util.checks import ValidationError
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def sink():
+    return LogSink(min_level="debug", rate=1000.0, burst=1000.0)
+
+
+# -- token bucket ------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        clock.advance(2.0)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1e6)
+        assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=1, burst=-1)
+
+
+# -- record shape ------------------------------------------------------------
+class TestLogRecord:
+    def test_json_line_shape(self, sink):
+        log = Logger("engine", sink)
+        assert log.info("batch done", batch=7, cause="size")
+        (rec,) = sink.records()
+        doc = json.loads(rec.to_json())
+        assert doc["level"] == "info"
+        assert doc["component"] == "engine"
+        assert doc["message"] == "batch done"
+        assert doc["batch"] == 7 and doc["cause"] == "size"
+        assert doc["pid"] > 0 and doc["tid"] > 0
+        assert "trace_id" not in doc  # no ambient span -> no correlation keys
+
+    def test_trace_correlation_from_ambient_span(self, sink):
+        tracer = Tracer(capacity=16, enabled=True)
+        log = Logger("search", sink)
+        import repro.obs.log as log_mod
+
+        orig = log_mod.get_tracer
+        log_mod.get_tracer = lambda: tracer
+        try:
+            with tracer.span("outer") as sp:
+                log.info("inside")
+            log.info("outside")
+        finally:
+            log_mod.get_tracer = orig
+        inside, outside = sink.records()
+        assert inside.trace_id == sp.context.trace_id
+        assert inside.span_id == sp.context.span_id
+        assert outside.trace_id is None
+
+    def test_unserializable_field_falls_back_to_str(self, sink):
+        log = Logger("x", sink)
+        log.info("odd", obj=object())
+        (rec,) = sink.records()
+        assert "object object" in json.loads(rec.to_json())["obj"]
+
+    def test_suppressed_key_only_when_nonzero(self):
+        rec = LogRecord(ts=1.0, level="info", component="c", message="m")
+        assert "suppressed" not in rec.as_dict()
+        rec.suppressed = 3
+        assert rec.as_dict()["suppressed"] == 3
+
+
+# -- sink pipeline -----------------------------------------------------------
+class TestLogSink:
+    def test_level_gate(self, sink):
+        sink.min_level = "warning"
+        log = Logger("c", sink)
+        assert not log.debug("no")
+        assert not log.info("no")
+        assert log.warning("yes")
+        assert log.error("yes")
+        assert [r.level for r in sink.records()] == ["warning", "error"]
+        assert log.enabled_for("error") and not log.enabled_for("info")
+
+    def test_unknown_level_rejected(self, sink):
+        with pytest.raises(ValidationError):
+            Logger("c", sink).log("fatal", "boom")
+        with pytest.raises(ValidationError):
+            sink.min_level = "verbose"
+
+    def test_ring_is_bounded_and_counts_evictions(self):
+        sink = LogSink(ring_capacity=4, min_level="debug", rate=1e9, burst=1e9)
+        log = Logger("c", sink)
+        for i in range(10):
+            log.info(f"m{i}")
+        assert [r.message for r in sink.records()] == ["m6", "m7", "m8", "m9"]
+        assert sink.dropped == 6
+
+    def test_rate_limit_suppresses_and_carries_count(self):
+        clock = FakeClock()
+        sink = LogSink(min_level="debug", rate=1.0, burst=2.0, clock=clock)
+        log = Logger("hot", sink)
+        assert log.info("a") and log.info("b")
+        assert not log.info("c") and not log.info("d")  # bucket dry
+        clock.advance(5.0)
+        assert log.info("e")
+        records = sink.records()
+        assert [r.message for r in records] == ["a", "b", "e"]
+        assert records[-1].suppressed == 2  # c and d, reported not silent
+        assert sink.suppressed() == {("hot", "info"): 2}
+
+    def test_rate_limit_is_per_component_and_level(self):
+        clock = FakeClock()
+        sink = LogSink(min_level="debug", rate=1.0, burst=1.0, clock=clock)
+        hot, cold = Logger("hot", sink), Logger("cold", sink)
+        assert hot.info("a")
+        assert not hot.info("b")
+        assert hot.error("still-through")  # different level, own bucket
+        assert cold.info("own-bucket")
+
+    def test_stream_write_and_torn_stream_survival(self, sink):
+        stream = io.StringIO()
+        sink.configure(stream=stream)
+        log = Logger("c", sink)
+        log.info("hello")
+        assert json.loads(stream.getvalue())["message"] == "hello"
+        stream.close()  # further writes raise ValueError inside the sink
+        assert log.info("after-close")  # swallowed, record still ringed
+        assert [r.message for r in sink.records()] == ["hello", "after-close"]
+
+    def test_records_tail_and_level_filter(self, sink):
+        log = Logger("c", sink)
+        for i in range(5):
+            log.info(f"i{i}")
+        log.error("boom")
+        assert [r.message for r in sink.records(n=2)] == ["i4", "boom"]
+        assert [r.message for r in sink.records(min_level="error")] == ["boom"]
+
+    def test_clear_resets_everything(self, sink):
+        log = Logger("c", sink)
+        log.info("x")
+        sink.clear()
+        assert sink.records() == [] and sink.dropped == 0
+        assert sink.suppressed() == {}
+
+
+# -- global wiring -----------------------------------------------------------
+class TestGlobalWiring:
+    def test_cached_loggers_share_the_default_sink(self):
+        assert get_logger("same") is get_logger("same")
+        assert get_logger("same").sink is get_log_sink()
+
+    def test_configure_logging_applies_in_place(self):
+        sink = get_log_sink()
+        before = sink.min_level
+        log = get_logger("cfg-test")  # cached before the reconfigure
+        try:
+            configure_logging(min_level="error")
+            assert not log.info("gated")
+            assert log.error("through")
+        finally:
+            configure_logging(min_level=before)
+            sink.clear()
+
+    def test_levels_table(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]

@@ -1,0 +1,352 @@
+"""Tests for SLO tracking and burn-rate shedding (repro.obs.slo + serve).
+
+Covers the error-budget contract:
+
+* objective/window validation and the rolling-bin bookkeeping;
+* burn-rate math — ``(bad/total)/(1 - target)``, empty windows are not
+  evidence, per-priority matching, latency bounds judged per objective;
+* multi-window alerts — BOTH the short and long window must exceed the
+  threshold; alerts clear when the burn subsides; evaluation is cached
+  per bin; transitions land in the structured log;
+* the admission loop — a service with declared SLOs sheds BULK (and only
+  the configured classes) while a fast burn is active, counts every
+  decision on the dedicated labeled counters, and never touches accepted
+  work.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import get_log_sink
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    BurnWindow,
+    SLObjective,
+    SLOTracker,
+)
+from repro.serve import (
+    AlignmentService,
+    Priority,
+    ServiceOverloadedError,
+)
+from repro.serve.service import ServiceConfig
+from repro.util.checks import ValidationError
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_tracker(clock, *, target=0.99, latency_s=None, priority=None):
+    return SLOTracker(
+        [
+            SLObjective(
+                name="obj", target=target, latency_s=latency_s, priority=priority
+            )
+        ],
+        clock=clock,
+    )
+
+
+# -- declarations ------------------------------------------------------------
+class TestDeclarations:
+    def test_objective_validation(self):
+        with pytest.raises(ValidationError):
+            SLObjective(name="")
+        with pytest.raises(ValidationError):
+            SLObjective(name="x", target=1.0)  # no budget to burn
+        with pytest.raises(ValidationError):
+            SLObjective(name="x", target=0.0)
+        with pytest.raises(ValidationError):
+            SLObjective(name="x", latency_s=-1.0)
+
+    def test_burn_window_validation(self):
+        with pytest.raises(ValidationError):
+            BurnWindow("bad", short_s=60.0, long_s=60.0, threshold=1.0)
+        with pytest.raises(ValidationError):
+            BurnWindow("bad", short_s=60.0, long_s=600.0, threshold=0)
+
+    def test_default_windows_are_the_sre_pairs(self):
+        assert [(w.label, w.short_s, w.long_s, w.threshold) for w in DEFAULT_BURN_WINDOWS] == [
+            ("fast", 300.0, 3600.0, 14.4),
+            ("slow", 3600.0, 21600.0, 6.0),
+        ]
+
+    def test_tracker_validation(self):
+        with pytest.raises(ValidationError):
+            SLOTracker([])
+        with pytest.raises(ValidationError):
+            SLOTracker([SLObjective(name="a"), SLObjective(name="a")])
+        with pytest.raises(ValidationError):
+            SLOTracker(["not-an-objective"])
+
+    def test_objectives_ride_service_config(self):
+        cfg = ServiceConfig(slos=(SLObjective(name="x"),))
+        assert cfg.slos[0].name == "x"
+        with pytest.raises(ValidationError):
+            ServiceConfig(slos=("nope",))
+        with pytest.raises(ValidationError):
+            ServiceConfig(shed_priorities=("URGENT",))
+
+
+# -- burn / budget math ------------------------------------------------------
+class TestBurnMath:
+    def test_burn_rate_formula(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target=0.99)
+        for i in range(100):
+            tracker.observe(error=(i < 10))  # 10% bad
+            clock.advance(1.0)
+        # (0.1) / (0.01) = 10x the budgeted bad fraction
+        assert tracker.burn_rate("obj", 300.0) == pytest.approx(10.0)
+
+    def test_empty_window_is_zero_not_alert(self):
+        tracker = make_tracker(FakeClock())
+        assert tracker.burn_rate("obj", 300.0) == 0.0
+        assert tracker.alerts(force=True) == []
+        assert not tracker.fast_burn_active()
+
+    def test_unknown_objective_rejected(self):
+        tracker = make_tracker(FakeClock())
+        with pytest.raises(ValidationError):
+            tracker.burn_rate("nope", 60.0)
+
+    def test_latency_bound_judged_per_objective(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            [
+                SLObjective(name="tight", target=0.5, latency_s=0.01),
+                SLObjective(name="loose", target=0.5, latency_s=10.0),
+            ],
+            clock=clock,
+        )
+        tracker.observe(latency_s=1.0)  # bad for tight, good for loose
+        assert tracker.burn_rate("tight", 60.0) == pytest.approx(2.0)
+        assert tracker.burn_rate("loose", 60.0) == 0.0
+
+    def test_priority_matching(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, priority="NORMAL")
+        tracker.observe(priority="BULK", error=True)  # not watched
+        assert tracker.budget("obj")["events"] == 0
+        tracker.observe(priority="NORMAL", error=True)
+        assert tracker.budget("obj")["events"] == 1
+
+    def test_budget_ledger(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target=0.9)
+        for i in range(100):
+            tracker.observe(error=(i < 5))
+        budget = tracker.budget("obj")
+        assert budget["events"] == 100 and budget["bad"] == 5
+        assert budget["budget_events"] == pytest.approx(10.0)
+        assert budget["budget_remaining"] == pytest.approx(5.0)
+        assert budget["budget_remaining_fraction"] == pytest.approx(0.5)
+
+    def test_events_age_out_of_the_horizon(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe(error=True)
+        clock.advance(30000.0)  # past the 6h slow-long horizon
+        assert tracker.budget("obj")["events"] == 0
+
+
+# -- multi-window alerts -----------------------------------------------------
+class TestBurnAlerts:
+    def test_short_window_alone_does_not_fire(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target=0.99)
+        # A long stretch of good traffic, then a 2-minute 100% bad blip:
+        # the 5m window burns hot but the 1h window stays below 14.4.
+        for _ in range(3600):
+            tracker.observe()
+            clock.advance(1.0)
+        for _ in range(120):
+            tracker.observe(error=True)
+            clock.advance(1.0)
+        assert tracker.burn_rate("obj", 300.0) > 14.4
+        assert tracker.burn_rate("obj", 3600.0) < 14.4
+        assert not tracker.fast_burn_active()
+
+    def test_sustained_burn_fires_then_clears(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, target=0.99)
+        for _ in range(600):
+            tracker.observe(error=True)
+            clock.advance(1.0)
+        alerts = tracker.alerts(force=True)
+        assert {a.window for a in alerts} >= {"fast"}
+        assert tracker.fast_burn_active() and tracker.fast_burn_active("obj")
+        first = next(a for a in alerts if a.window == "fast")
+        assert first.burn_short >= 14.4 and first.burn_long >= 14.4
+        since = first.since
+        # Still burning a bit later: 'since' sticks to the first firing.
+        clock.advance(60.0)
+        tracker.observe(error=True)
+        again = next(a for a in tracker.alerts(force=True) if a.window == "fast")
+        assert again.since == since
+        # Good traffic dilutes both windows below threshold -> clears.
+        for _ in range(7200):
+            tracker.observe()
+            clock.advance(1.0)
+        assert tracker.alerts(force=True) == []
+        assert not tracker.fast_burn_active()
+
+    def test_evaluation_is_cached_per_bin(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(600):
+            tracker.observe(error=True)
+            clock.advance(1.0)
+        assert tracker.fast_burn_active()
+        # Within the same bin the cache holds even as traffic changes...
+        tracker.observe()
+        assert tracker.fast_burn_active()
+        # ...and force=True re-evaluates immediately.
+        assert tracker.alerts(force=True) != []
+
+    def test_transitions_land_in_the_log(self):
+        sink = get_log_sink()
+        sink.clear()
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        try:
+            for _ in range(600):
+                tracker.observe(error=True)
+                clock.advance(1.0)
+            tracker.alerts(force=True)
+            messages = [r.message for r in sink.records()]
+            assert "burn-rate alert firing" in messages
+        finally:
+            sink.clear()
+
+    def test_snapshot_document(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.observe(error=True)
+        doc = tracker.snapshot()
+        assert doc["events"] == 1
+        (entry,) = doc["objectives"]
+        assert entry["name"] == "obj"
+        assert set(entry["burn"]) == {"fast_short", "fast_long", "slow_short", "slow_long"}
+        assert isinstance(doc["alerts"], list)
+
+
+# -- the admission loop ------------------------------------------------------
+def _burning_tracker(clock):
+    """A tracker for NORMAL traffic already deep in fast burn."""
+    tracker = SLOTracker(
+        [SLObjective(name="normal-lat", target=0.99, priority="NORMAL")],
+        clock=clock,
+    )
+    for _ in range(600):
+        tracker.observe(priority="NORMAL", error=True)
+        clock.advance(1.0)
+    assert tracker.fast_burn_active()
+    return tracker
+
+
+class TestAdmissionShedding:
+    def test_bulk_shed_while_burning_interactive_admitted(self):
+        async def main():
+            clock = FakeClock()
+            tracker = _burning_tracker(clock)
+            svc = AlignmentService(
+                scheme=None,
+                config=ServiceConfig(slos=(SLObjective(name="unused", priority="NORMAL"),)),
+                slo=tracker,
+            )
+            async with svc:
+                with pytest.raises(ServiceOverloadedError, match="shed"):
+                    await svc.submit("ACGT", "ACGT", priority=Priority.BULK)
+                # Protected classes ride through and resolve normally.
+                score = await svc.submit("ACGT", "ACGT", priority=Priority.INTERACTIVE)
+                assert isinstance(score, int)
+                # The decision is observable on the dedicated counter.
+                assert svc.stats.admission_rejected == {("shed", "BULK"): 1}
+                assert svc.stats.rejected == {"shed": 1}
+            return True
+
+        assert asyncio.run(main())
+
+    def test_no_shed_after_burn_clears(self):
+        async def main():
+            clock = FakeClock()
+            tracker = _burning_tracker(clock)
+            for _ in range(7200):
+                tracker.observe(priority="NORMAL")
+                clock.advance(1.0)
+            assert not tracker.fast_burn_active()
+            svc = AlignmentService(scheme=None, slo=tracker)
+            async with svc:
+                score = await svc.submit("ACGT", "ACGT", priority=Priority.BULK)
+                assert isinstance(score, int)
+                assert svc.stats.admission_rejected == {}
+            return True
+
+        assert asyncio.run(main())
+
+    def test_shed_classes_follow_config(self):
+        async def main():
+            clock = FakeClock()
+            tracker = _burning_tracker(clock)
+            svc = AlignmentService(
+                scheme=None,
+                config=ServiceConfig(shed_priorities=("BULK", "NORMAL")),
+                slo=tracker,
+            )
+            async with svc:
+                for priority in (Priority.BULK, Priority.NORMAL):
+                    with pytest.raises(ServiceOverloadedError):
+                        await svc.submit("AC", "AC", priority=priority)
+                assert isinstance(
+                    await svc.submit("AC", "AC", priority=Priority.INTERACTIVE), int
+                )
+            return True
+
+        assert asyncio.run(main())
+
+    def test_completions_feed_the_tracker(self):
+        async def main():
+            svc = AlignmentService(
+                scheme=None,
+                config=ServiceConfig(
+                    slos=(SLObjective(name="all", target=0.99, latency_s=30.0),)
+                ),
+            )
+            async with svc:
+                await svc.submit("ACGT", "ACGT")
+                budget = svc.slo.budget("all")
+                assert budget["events"] == 1 and budget["bad"] == 0
+            return True
+
+        assert asyncio.run(main())
+
+    def test_deadline_expiry_counts_as_error_and_stage(self):
+        async def main():
+            svc = AlignmentService(
+                scheme=None,
+                target_batch=64,
+                max_linger=0.01,
+                config=ServiceConfig(
+                    slos=(SLObjective(name="all", target=0.99),)
+                ),
+            )
+            async with svc:
+                from repro.serve import DeadlineExceededError
+
+                with pytest.raises(DeadlineExceededError):
+                    await svc.submit("ACGT", "ACGT", timeout=0.0)
+                assert svc.slo.budget("all")["bad"] == 1
+                assert sum(svc.stats.deadline_exceeded.values()) == 1
+            return True
+
+        assert asyncio.run(main())
