@@ -1,0 +1,207 @@
+"""Read mapping: seed+extend fast path vs. the full-DP oracle.
+
+The acceptance bar (PR 10), recorded in ``BENCH_mapping.json``:
+
+* **≥ 3× speedup** — ``map_reads`` (seeded hit search + per-hit banded
+  extension) over ``exhaustive_map`` (full dynamic programming over
+  every reference window — the oracle every fast path is certified
+  against);
+* **≥ 99% true-origin accuracy** — each read's best placement recovers
+  the position and strand it was actually sampled from;
+* **bit-identity, always asserted** — the fast path's placements
+  (record, coordinates, strand, score, CIGAR) equal the oracle's
+  exactly, and the pool-served sharded mapping equals the
+  single-process result exactly.
+
+The speedup is algorithmic (work avoided by the seed prefilter), not a
+parallelism bar, so it is enforced on any host; the smoke variant
+(``-k smoke``) only relaxes it to ≥ 1× so CI boxes with noisy clocks
+never flake.  ``min_score`` sits at 0.75× the perfect read score —
+above the random-junk alignment floor, which is the regime where the
+seeded search provably sees everything the oracle keeps.
+"""
+
+import os
+import time
+
+from repro.mapping import (
+    exhaustive_map,
+    map_reads,
+    placement_key,
+    true_origin_accuracy,
+)
+from repro.perf import format_table
+from repro.search import SearchConfig
+from repro.shard import ShardPlan, ShardWorkerPool
+from repro.workloads.reads import read_pairs
+
+MATCH = 2  # default scoring: simple_subst_scoring(2, -1)
+
+
+def _keys(per_read):
+    return [[placement_key(p) for p in ps] for ps in per_read]
+
+
+def _run(
+    report,
+    name,
+    *,
+    count,
+    read_length,
+    ref_len,
+    seed,
+    min_speedup,
+    min_accuracy,
+    num_shards,
+):
+    rs = read_pairs(
+        count, read_length=read_length, reference_length=ref_len, seed=seed
+    )
+    ref = rs.reference
+    reads = [rs.reads[i] for i in range(len(rs))]
+    min_score = int(0.75 * MATCH * read_length)
+
+    t0 = time.perf_counter()
+    oracle = exhaustive_map(rs, ref, min_score=min_score)
+    oracle_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = map_reads(rs, ref, min_score=min_score)
+    fast_s = time.perf_counter() - t0
+
+    want = _keys(oracle.placements)
+    assert _keys(fast.placements) == want, (
+        "map_reads diverges from the exhaustive oracle"
+    )
+
+    plan = ShardPlan(
+        num_shards=num_shards, search=SearchConfig(), start_method="fork"
+    )
+    with ShardWorkerPool(ref, plan=plan, timeout=900) as pool:
+        t0 = time.perf_counter()
+        pool_out = pool.map_topk(reads, min_score=min_score)
+        pool_cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pool_warm = pool.map_topk(reads, min_score=min_score)
+        pool_warm_s = time.perf_counter() - t0
+        pool_stats = pool.stats.snapshot()
+    assert _keys(pool_out) == want, (
+        "pool-served mapping diverges from the single-process result"
+    )
+    assert _keys(pool_warm) == want, (
+        "warm pool-served mapping diverges from the single-process result"
+    )
+
+    accuracy = true_origin_accuracy(fast, rs.origins())
+    speedup = oracle_s / fast_s
+    cores = os.cpu_count() or 1
+
+    table = format_table(
+        ("mode", "total s", "reads/s", "vs oracle"),
+        [
+            (
+                "exhaustive oracle (full DP)",
+                f"{oracle_s:7.3f}",
+                f"{count / oracle_s:,.1f}",
+                "1.0x",
+            ),
+            (
+                "map_reads (seed + extend)",
+                f"{fast_s:7.3f}",
+                f"{count / fast_s:,.1f}",
+                f"{speedup:.2f}x",
+            ),
+            (
+                f"pool-served cold ({num_shards} workers)",
+                f"{pool_cold_s:7.3f}",
+                f"{count / pool_cold_s:,.1f}",
+                f"{oracle_s / pool_cold_s:.2f}x",
+            ),
+            (
+                f"pool-served warm ({num_shards} workers)",
+                f"{pool_warm_s:7.3f}",
+                f"{count / pool_warm_s:,.1f}",
+                f"{oracle_s / pool_warm_s:.2f}x",
+            ),
+        ],
+        title=(
+            f"Read mapping: {count} x {read_length} bp reads vs "
+            f"{ref_len / 1e3:.0f} kbp (min_score={min_score}, {cores} cores)"
+        ),
+    )
+    summary = (
+        f"true-origin accuracy {accuracy:.4f} "
+        f"(bar {min_accuracy}), bit-identical to oracle and pool: yes"
+    )
+    report(
+        name,
+        table + "\n" + summary + "\n\n" + fast.report(),
+        data={
+            "reads": count,
+            "read_length": read_length,
+            "ref_len": ref_len,
+            "min_score": min_score,
+            "cores": cores,
+            "num_shards": num_shards,
+            "oracle_s": oracle_s,
+            "fast_s": fast_s,
+            "pool_cold_s": pool_cold_s,
+            "pool_warm_s": pool_warm_s,
+            "speedup_vs_oracle": speedup,
+            "min_speedup": min_speedup,
+            "accuracy": accuracy,
+            "min_accuracy": min_accuracy,
+            "placements": fast.total_placements,
+            "mapped_reads": fast.mapped_reads,
+            "extend": {
+                "hits": fast.extend.hits,
+                "banded": fast.extend.banded,
+                "fallback_score": fast.extend.fallback_score,
+                "fallback_edge": fast.extend.fallback_edge,
+                "full": fast.extend.full,
+                "cells": fast.extend.cells,
+            },
+            "oracle_extend_cells": oracle.extend.cells,
+            "bit_identical": True,
+            "oracle_checked": True,
+            "bar_enforced": True,
+            "pool_stats": pool_stats,
+        },
+    )
+    assert accuracy >= min_accuracy, (
+        f"true-origin accuracy {accuracy:.4f} below the {min_accuracy} bar"
+    )
+    assert speedup >= min_speedup, (
+        f"map_reads only {speedup:.2f}x over the exhaustive oracle "
+        f"(need {min_speedup}x)"
+    )
+
+
+def test_mapping_speedup(report):
+    """Acceptance: ≥3× vs the oracle, ≥99% true-origin accuracy."""
+    _run(
+        report,
+        "mapping",
+        count=64,
+        read_length=80,
+        ref_len=40_000,
+        seed=71,
+        min_speedup=3.0,
+        min_accuracy=0.99,
+        num_shards=4,
+    )
+
+
+def test_mapping_smoke(report):
+    """CI variant: tiny instance, same identity/accuracy assertions."""
+    _run(
+        report,
+        "mapping_smoke",
+        count=12,
+        read_length=80,
+        ref_len=8_000,
+        seed=7,
+        min_speedup=1.0,
+        min_accuracy=0.99,
+        num_shards=2,
+    )

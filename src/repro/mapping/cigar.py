@@ -1,0 +1,211 @@
+"""CIGAR algebra: edit-script run-lengths with reconstruction validation.
+
+A placement's CIGAR is the run-length encoding of its alignment's edit
+script, SAM-flavored over four ops:
+
+========  =================================  consumes
+``M``     aligned pair (match or mismatch)   query + reference
+``I``     insertion in the query             query
+``D``     deletion from the query            reference
+``S``     soft clip (unaligned query end)    query
+========  =================================  consumes
+
+Ops live as ``(op, length)`` tuples so span arithmetic is plain Python;
+:func:`cigar_string`/:func:`parse_cigar` convert to and from the compact
+text form.  Everything downstream (dedup identity, placement reporting,
+accuracy accounting) trusts the CIGAR, so the module's ground rule is
+*reconstruction-based validation*: :func:`apply_cigar` re-derives the
+exact gapped alignment strings from the raw sequences, and
+:func:`from_alignment` + ``apply_cigar`` round-trip bit-for-bit against
+``core.traceback`` output (property-tested in ``tests/test_cigar.py``).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.util.checks import ValidationError
+from repro.util.encoding import decode
+
+__all__ = [
+    "apply_cigar",
+    "cigar_string",
+    "edit_stats",
+    "from_alignment",
+    "parse_cigar",
+    "query_span",
+    "ref_span",
+    "validate_cigar",
+]
+
+#: Ops that consume query bases / reference bases.
+_CONSUMES_QUERY = frozenset("MIS")
+_CONSUMES_REF = frozenset("MD")
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDS])")
+
+
+def parse_cigar(text: str) -> tuple:
+    """Compact string → ``((op, length), ...)``; strict (rejects junk)."""
+    if not text:
+        return ()
+    ops = []
+    pos = 0
+    for m in _CIGAR_RE.finditer(text):
+        if m.start() != pos:
+            raise ValidationError(f"malformed CIGAR {text!r} at offset {pos}")
+        length = int(m.group(1))
+        if length == 0:
+            raise ValidationError(f"zero-length op in CIGAR {text!r}")
+        ops.append((m.group(2), length))
+        pos = m.end()
+    if pos != len(text):
+        raise ValidationError(f"malformed CIGAR {text!r} at offset {pos}")
+    return tuple(ops)
+
+
+def cigar_string(ops) -> str:
+    """``((op, length), ...)`` → compact string (inverse of parse)."""
+    return "".join(f"{length}{op}" for op, length in ops)
+
+
+def query_span(ops) -> int:
+    """Query bases consumed (M + I + S) — the full read for a placement."""
+    return sum(length for op, length in ops if op in _CONSUMES_QUERY)
+
+
+def ref_span(ops) -> int:
+    """Reference bases consumed (M + D): ``ref_end − ref_start``."""
+    return sum(length for op, length in ops if op in _CONSUMES_REF)
+
+
+def validate_cigar(ops, query_len: int | None = None) -> tuple:
+    """Structural checks; returns ``ops`` so calls compose.
+
+    Rules: known ops with positive lengths, adjacent runs merged (the
+    canonical form run-length encoding promises), soft clips only at the
+    ends, and — when ``query_len`` is given — the query fully consumed.
+    """
+    ops = tuple(ops)
+    prev = None
+    for i, (op, length) in enumerate(ops):
+        if op not in "MIDS":
+            raise ValidationError(f"unknown CIGAR op {op!r}")
+        if length <= 0:
+            raise ValidationError(f"non-positive CIGAR run {length}{op}")
+        if op == prev:
+            raise ValidationError(f"unmerged CIGAR runs at index {i} ({op})")
+        if op == "S" and i not in (0, len(ops) - 1):
+            raise ValidationError("soft clips are only valid at the ends")
+        prev = op
+    if query_len is not None and query_span(ops) != query_len:
+        raise ValidationError(
+            f"CIGAR consumes {query_span(ops)} query bases, read has {query_len}"
+        )
+    return ops
+
+
+def from_alignment(result, query_len: int) -> tuple:
+    """Edit script of a ``core.traceback`` result as canonical CIGAR ops.
+
+    ``M``/``I``/``D`` runs come from the gapped strings; the unaligned
+    query prefix/suffix (``query_start`` / ``query_len − query_end``,
+    free end gaps under semiglobal schemes) become ``S`` clips.
+    """
+    ops: list = []
+    run_op, run_len = "", 0
+    for a, b in zip(result.query_aligned, result.subject_aligned):
+        op = "D" if a == "-" else ("I" if b == "-" else "M")
+        if op == run_op:
+            run_len += 1
+        else:
+            if run_op:
+                ops.append((run_op, run_len))
+            run_op, run_len = op, 1
+    if run_op:
+        ops.append((run_op, run_len))
+    if result.query_start > 0:
+        ops.insert(0, ("S", result.query_start))
+    if query_len - result.query_end > 0:
+        ops.append(("S", query_len - result.query_end))
+    return validate_cigar(ops, query_len)
+
+
+def apply_cigar(ops, query, reference, ref_start: int = 0) -> tuple[str, str]:
+    """Replay a CIGAR over the raw sequences → exact gapped strings.
+
+    The validation primitive: applying a placement's CIGAR to its read
+    and reference window must reconstruct the ``core.traceback``
+    alignment character for character.  Soft clips are skipped (they
+    consume query only and produce no columns).
+    """
+    q = np.asarray(query, dtype=np.uint8)
+    r = np.asarray(reference, dtype=np.uint8)
+    qa: list[str] = []
+    sa: list[str] = []
+    i, j = 0, int(ref_start)
+    for op, length in validate_cigar(ops):
+        if op == "S":
+            i += length
+            continue
+        if op == "M":
+            if i + length > q.size or j + length > r.size:
+                raise ValidationError("CIGAR overruns its sequences")
+            qa.append(decode(q[i : i + length]))
+            sa.append(decode(r[j : j + length]))
+            i += length
+            j += length
+        elif op == "I":
+            if i + length > q.size:
+                raise ValidationError("CIGAR overruns the query")
+            qa.append(decode(q[i : i + length]))
+            sa.append("-" * length)
+            i += length
+        else:  # D
+            if j + length > r.size:
+                raise ValidationError("CIGAR overruns the reference")
+            qa.append("-" * length)
+            sa.append(decode(r[j : j + length]))
+            j += length
+    return "".join(qa), "".join(sa)
+
+
+def edit_stats(ops, query, reference, ref_start: int = 0) -> dict:
+    """Match/mismatch/indel counts and identity, derived by replay.
+
+    Identity follows :meth:`AlignmentResult.identity`: exact matches
+    over alignment columns (M + I + D; clips excluded).
+    """
+    q = np.asarray(query, dtype=np.uint8)
+    r = np.asarray(reference, dtype=np.uint8)
+    matches = mismatches = insertions = deletions = clipped = 0
+    i, j = 0, int(ref_start)
+    for op, length in validate_cigar(ops):
+        if op == "S":
+            clipped += length
+            i += length
+        elif op == "M":
+            same = int(np.count_nonzero(q[i : i + length] == r[j : j + length]))
+            matches += same
+            mismatches += length - same
+            i += length
+            j += length
+        elif op == "I":
+            insertions += length
+            i += length
+        else:  # D
+            deletions += length
+            j += length
+    columns = matches + mismatches + insertions + deletions
+    return {
+        "matches": matches,
+        "mismatches": mismatches,
+        "insertions": insertions,
+        "deletions": deletions,
+        "clipped": clipped,
+        "columns": columns,
+        "edits": mismatches + insertions + deletions,
+        "identity": matches / columns if columns else 0.0,
+    }

@@ -1,0 +1,219 @@
+"""Per-hit extension: window-level search hits → exact reference placements.
+
+A :class:`~repro.search.topk.Hit` says "this read scores S somewhere in
+this window"; a :class:`Placement` says exactly where, with the CIGAR to
+prove it.  The stage re-runs ``core.traceback`` per retained hit:
+
+* **banded path** — the hit's seed-diagonal envelope (``diag_lo`` /
+  ``diag_hi``, carried opaquely through the top-K merge in ``Hit.meta``)
+  bounds where the read can sit, so traceback runs on just the envelope's
+  column slice of the window (diagonal ``d`` puts query position 0 at
+  window column ``d``; the slice ``[diag_lo − pad, diag_hi + qlen + pad)``
+  therefore covers every seeded placement plus indel drift);
+* **certificate** — the sliced result is accepted only if its score
+  equals the hit's verified window score *and* the aligned segment stays
+  clear of any artificially cut slice edge.  Slicing turns a cut column
+  into a free-end-gap border that the full window does not have, so an
+  edge-touching result proves nothing; score equality proves an optimal
+  whole-window placement lies inside the slice (a slice alignment is a
+  window alignment with the same score, so slice score ≤ window score
+  always, with equality exactly when the slice contains an optimum).
+* **fallback** — on any miss (no envelope, score mismatch — e.g. a
+  band-clipped shoulder hit — or an edge-touching segment) the hit is
+  re-aligned on the *full* window with ``align_block`` semantics, which
+  is what the exhaustive oracle does unconditionally.
+
+Determinism note: within a slice, ``core.traceback`` breaks ties by the
+same sweep order as on the full window, so the certificate makes the
+banded path bit-identical to full-window traceback whenever the optimal
+placement is unique inside the window.  An exact equal-scoring repeat of
+the read inside one window shares the read's k-mers, which widens the
+seed envelope to span both copies — so repeats resolve inside one slice
+with full-window tie order, not across slices.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.traceback import align_linear_space
+from repro.mapping.cigar import cigar_string, from_alignment
+from repro.obs import get_registry
+
+__all__ = ["ExtendStats", "Placement", "extend_hit"]
+
+
+@dataclass(slots=True)
+class Placement:
+    """One exact reference placement of a read (mapping's unit result).
+
+    Coordinates are forward-reference, 0-based half-open; for a ``-``
+    strand placement the CIGAR (and ``query_start``/``query_end``) are
+    relative to the reverse-complemented read, SAM-style.  ``hit`` keeps
+    the source search hit (opaque to equality) so shard merges can
+    replay the hit-level top-K retention exactly.
+    """
+
+    query_id: int  # read index (strand-folded)
+    record: str
+    ref_start: int
+    ref_end: int
+    strand: str  # "+" or "-"
+    score: int
+    cigar: str
+    query_start: int  # soft-clipped prefix of the oriented read
+    query_end: int
+    chunk_id: int  # provenance: the window that produced it
+    seeds: int = 0
+    hit: object = field(default=None, compare=False, repr=False)
+
+    def __repr__(self):
+        return (
+            f"Placement(q{self.query_id} {self.record}:{self.ref_start}-"
+            f"{self.ref_end}{self.strand} score={self.score} {self.cigar})"
+        )
+
+
+def placement_key(p: Placement) -> tuple:
+    """Identity of a placement — what overlapping-window duplicates share.
+
+    Deliberately excludes ``query_id``: dedup buckets per read already,
+    and a read's placements must compare equal whether it was mapped
+    alone (``map_one``, service traffic — id 0) or at position ``i`` of
+    a batch.
+    """
+    return (
+        p.record,
+        p.ref_start,
+        p.ref_end,
+        p.strand,
+        p.query_start,
+        p.cigar,
+    )
+
+
+@dataclass
+class ExtendStats:
+    """Accounting for one extension pass (perf.report's extend row)."""
+
+    hits: int = 0
+    banded: int = 0  # envelope slice accepted by the certificate
+    fallback_score: int = 0  # slice score ≠ hit score → full window
+    fallback_edge: int = 0  # segment touched a cut slice edge → full window
+    full: int = 0  # no envelope / full mode from the start
+    cells_banded: int = 0
+    cells_full: int = 0
+    seconds: float = 0.0
+
+    @property
+    def cells(self) -> int:
+        return self.cells_banded + self.cells_full
+
+    def add(self, other: "ExtendStats") -> None:
+        self.hits += other.hits
+        self.banded += other.banded
+        self.fallback_score += other.fallback_score
+        self.fallback_edge += other.fallback_edge
+        self.full += other.full
+        self.cells_banded += other.cells_banded
+        self.cells_full += other.cells_full
+        self.seconds += other.seconds
+
+
+def _result_to_placement(res, hit, query_id, strand, qlen, window_offset) -> Placement:
+    ops = from_alignment(res, qlen)
+    return Placement(
+        query_id=query_id,
+        record=hit.record,
+        ref_start=hit.start + window_offset + res.subject_start,
+        ref_end=hit.start + window_offset + res.subject_end,
+        strand=strand,
+        score=int(res.score),
+        cigar=cigar_string(ops),
+        query_start=res.query_start,
+        query_end=res.query_end,
+        chunk_id=hit.chunk_id,
+        seeds=hit.seeds,
+        hit=hit,
+    )
+
+
+def extend_hit(
+    query,
+    hit,
+    scheme,
+    *,
+    window=None,
+    mode: str = "banded",
+    extend_pad: int = 16,
+    query_id: int | None = None,
+    strand: str = "+",
+    stats: ExtendStats | None = None,
+) -> Placement:
+    """Run exact traceback for one hit; returns its :class:`Placement`.
+
+    ``query`` is the *oriented* (possibly reverse-complemented) encoded
+    read the hit was searched with; ``window`` defaults to the bases the
+    reducer stashed in ``hit.meta["window"]``.  ``mode="full"`` skips the
+    envelope slice and always aligns the whole window (the oracle path).
+    """
+    if window is None:
+        window = (hit.meta or {}).get("window")
+        if window is None:
+            raise ValueError("hit carries no window bases; pass window=")
+    q = np.asarray(query, dtype=np.uint8)
+    w = np.asarray(window, dtype=np.uint8)
+    qlen, wlen = int(q.size), int(w.size)
+    stats = stats if stats is not None else ExtendStats()
+    reg = get_registry()
+    t0 = time.perf_counter()
+    stats.hits += 1
+
+    meta = hit.meta or {}
+    dlo, dhi = meta.get("diag_lo"), meta.get("diag_hi")
+    path = "full"
+    res, offset = None, 0
+    if mode == "banded" and dlo is not None and dhi is not None and dlo <= dhi:
+        lo = max(0, int(dlo) - extend_pad)
+        hi = min(wlen, int(dhi) + qlen + extend_pad)
+        if hi - lo < wlen:  # a real slice, else full-window is identical
+            res = align_linear_space(q, w[lo:hi], scheme)
+            stats.cells_banded += (qlen + 1) * (hi - lo + 1)
+            ok = res.score == hit.score
+            if ok and (
+                (lo > 0 and res.subject_start == 0)
+                or (hi < wlen and res.subject_end == hi - lo)
+            ):
+                ok = False  # touched a cut edge: the free border is a lie
+                stats.fallback_edge += 1
+            elif not ok:
+                stats.fallback_score += 1
+            if ok:
+                path = "banded"
+                offset = lo
+                stats.banded += 1
+            else:
+                res = None
+    if res is None:
+        res = align_linear_space(q, w, scheme)
+        stats.cells_full += (qlen + 1) * (wlen + 1)
+        if path == "full":
+            stats.full += 1
+    stats.seconds += time.perf_counter() - t0
+    if reg.enabled:
+        reg.counter(
+            "mapping_extend_total",
+            "Hits extended to exact placements, by traceback path",
+            labels=("path",),
+        ).inc(path="banded" if path == "banded" else "full")
+    return _result_to_placement(
+        res,
+        hit,
+        query_id if query_id is not None else hit.query_id,
+        strand,
+        qlen,
+        offset,
+    )

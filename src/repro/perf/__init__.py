@@ -7,6 +7,7 @@ from repro.perf.report import (
     cache_stats_table,
     code_sharing,
     format_table,
+    mapping_stats_table,
     pipeline_stats_table,
     router_stats_table,
     service_stats_table,
@@ -17,6 +18,7 @@ from repro.perf.report import (
 
 __all__ = [
     "cache_stats_table",
+    "mapping_stats_table",
     "pipeline_stats_table",
     "router_stats_table",
     "service_stats_table",

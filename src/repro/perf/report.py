@@ -15,6 +15,7 @@ __all__ = [
     "format_table",
     "code_sharing",
     "cache_stats_table",
+    "mapping_stats_table",
     "pipeline_stats_table",
     "service_stats_table",
     "shard_stats_table",
@@ -157,6 +158,43 @@ def pipeline_stats_table(stats, title: str = "Streaming pipeline", verify=None) 
                 path_rows,
                 title="Verify paths",
             )
+    return out
+
+
+def mapping_stats_table(result, title: str = "Read mapping") -> str:
+    """Per-stage accounting for one :func:`repro.mapping.map_reads` run.
+
+    ``result`` is a :class:`repro.mapping.MappingResult`.  The headline
+    table covers the mapping-specific stages — extension traceback path
+    split (envelope slice vs full window) and dedup collapse — followed
+    by the underlying search pipeline's own table when its stats were
+    kept (the oracle has none).
+    """
+    ext, dd = result.extend, result.dedup
+    rows = [
+        ("reads", result.num_reads),
+        ("mapped reads", result.mapped_reads),
+        ("placements", result.total_placements),
+        ("hits extended", ext.hits),
+        ("extension: banded accepts", ext.banded),
+        (
+            "extension: fallbacks (score / edge)",
+            f"{ext.fallback_score} / {ext.fallback_edge}",
+        ),
+        ("extension: full-window", ext.full),
+        ("traceback cells (banded / full)", f"{ext.cells_banded} / {ext.cells_full}"),
+        ("extension time (ms)", f"{ext.seconds * 1e3:.1f}"),
+        ("dedup offered", dd.offered),
+        ("dedup collapsed duplicates", dd.duplicates),
+        ("dedup time (ms)", f"{dd.seconds * 1e3:.1f}"),
+        ("total time (s)", f"{result.seconds:.3f}"),
+        ("path", "exhaustive oracle" if result.oracle else "seed+extend"),
+    ]
+    out = format_table(("metric", "value"), rows, title=title)
+    if result.search_stats is not None:
+        out += "\n\n" + pipeline_stats_table(
+            result.search_stats, title="Hit search pipeline"
+        )
     return out
 
 

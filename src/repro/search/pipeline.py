@@ -119,6 +119,10 @@ class SearchConfig:
     verify: str = "banded"
     scheme: AlignmentScheme | None = None
     max_in_flight: int = 2048
+    #: Stash each retained hit's window bases in ``Hit.meta["window"]``
+    #: (what the read mapper needs to extend hits without replaying the
+    #: chunk stream); off by default — hits stay plain scalars.
+    hit_window: bool = False
 
     def __post_init__(self):
         check_no_callables(self)
@@ -442,6 +446,7 @@ def search(
     max_in_flight: int = 2048,
     lane_verify: bool = True,
     route=None,
+    hit_window: bool = False,
 ) -> SearchRun:
     """Stream top-K placements of each query against a reference database.
 
@@ -489,6 +494,11 @@ def search(
         :class:`repro.serve.service.ServiceConfig` with
         ``route_backends=True``); full verify buckets then run on the
         lane backend and stragglers on the fallback, bit-identically.
+    hit_window:
+        Keep each retained hit's window bases in ``Hit.meta["window"]``
+        (see :class:`~repro.search.topk.TopKReducer`); the read-mapping
+        extension stage turns this on so traceback never has to replay
+        the chunk stream.
     """
     scheme = scheme if scheme is not None else default_search_scheme()
     if scheme.alignment_type is AlignmentType.LOCAL:
@@ -526,7 +536,7 @@ def search(
     else:
         stage = PlanExecutorStage(plan)  # exact full-DP verification
         batcher = ShapeBatcher(engine.executor.lanes)
-    reducer = TopKReducer(len(index), k=k, min_score=min_score)
+    reducer = TopKReducer(len(index), k=k, min_score=min_score, keep_window=hit_window)
     pipe = engine.pipeline(
         _chunk_source(database, window, overlap),
         prefilter=SeedPrefilter(index, min_seeds=min_seeds),

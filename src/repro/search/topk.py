@@ -26,7 +26,7 @@ what makes ``repro.search.search()`` an incremental iterator.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,6 +42,13 @@ class Hit:
 
     Plain scalars only — hits pickle cheaply, which is what lets shard
     workers stream their bounded top-K back over a result queue.
+
+    ``meta`` is *opaque* downstream-consumer baggage (the seed-diagonal
+    envelope ``diag_lo``/``diag_hi``, optionally the window bases under
+    ``"window"`` — see :class:`TopKReducer`): it never participates in
+    ranking or equality, and merges carry it through unchanged, so the
+    mapping extension stage can re-anchor on the original seed envelope
+    without re-deriving it.
     """
 
     query_id: int
@@ -51,6 +58,7 @@ class Hit:
     score: int
     chunk_id: int
     seeds: int = 0  # distinct shared k-mers that admitted the candidate
+    meta: dict | None = field(default=None, compare=False)
 
     def __repr__(self):
         return (
@@ -104,14 +112,32 @@ def hit_rank(hit: Hit) -> tuple:
 
 
 class TopKReducer:
-    """Reducer stage: bounded per-query top-K with streaming admissions."""
+    """Reducer stage: bounded per-query top-K with streaming admissions.
 
-    def __init__(self, num_queries: int, k: int = 10, min_score: int | None = None):
+    ``keep_window=True`` additionally stashes each retained hit's window
+    bases (``chunk.sequence``) under ``meta["window"]`` — what the read
+    mapper sets so its extension stage can run traceback without
+    replaying the (possibly once-only) chunk stream.  Hit metadata is
+    opaque to retention: ranks ignore it and merges pass it through
+    byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        num_queries: int,
+        k: int = 10,
+        min_score: int | None = None,
+        *,
+        keep_window: bool = False,
+    ):
         self.k = check_positive(k, "k")
         self.min_score = min_score
+        self.keep_window = keep_window
         self._heaps: list[list] = [[] for _ in range(num_queries)]
 
-    def offer(self, query_id: int, chunk, score: int, seeds: int = 0) -> Hit | None:
+    def offer(
+        self, query_id: int, chunk, score: int, seeds: int = 0, meta: dict | None = None
+    ) -> Hit | None:
         """Consider one scored candidate; returns the Hit if it was retained.
 
         The streaming hot path: almost every candidate of a large scan is
@@ -133,6 +159,7 @@ class TopKReducer:
             score=score,
             chunk_id=chunk.id,
             seeds=seeds,
+            meta=meta,
         )
         return self._push(heap, rank, hit)
 
@@ -170,11 +197,26 @@ class TopKReducer:
         return kept
 
     # -- Reducer protocol --------------------------------------------------
+    def _hit_meta(self, req_meta: dict) -> dict | None:
+        """Opaque per-hit metadata lifted off the admitted request."""
+        out = None
+        dlo = req_meta.get("diag_lo")
+        if dlo is not None:
+            out = {"diag_lo": dlo, "diag_hi": req_meta.get("diag_hi")}
+        if self.keep_window:
+            out = out or {}
+            out["window"] = req_meta["chunk"].sequence
+        return out
+
     def consume(self, batch: Batch, scores: np.ndarray):
         for req, score in zip(batch.requests, scores):
             meta = req.meta
             hit = self.offer(
-                meta["query_id"], meta["chunk"], score, meta.get("seeds", 0)
+                meta["query_id"],
+                meta["chunk"],
+                score,
+                meta.get("seeds", 0),
+                meta=self._hit_meta(meta),
             )
             if hit is not None:
                 yield hit

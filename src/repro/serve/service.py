@@ -172,10 +172,10 @@ class AlignmentService:
         Threads executing dispatched batches (separate from the engine's
         kernel pool, so a pipeline-driving search can never deadlock the
         batches' threads).
-    database / search_kwargs:
+    database / search_kwargs / map_kwargs:
         Reference database (anything :func:`repro.search.search` accepts;
         iterators are materialized once) and default keyword arguments for
-        ``submit_search``.
+        ``submit_search`` / ``submit_map`` respectively.
     config:
         :class:`ServiceConfig` hardening knobs — per-bucket backend
         routing (``simd`` full lanes / ``rowscan`` stragglers) is off by
@@ -200,6 +200,7 @@ class AlignmentService:
         dispatch_workers: int = 4,
         database=None,
         search_kwargs: dict | None = None,
+        map_kwargs: dict | None = None,
         config: ServiceConfig | None = None,
         slo=None,
     ):
@@ -237,6 +238,14 @@ class AlignmentService:
 
             raise ValidationError(
                 "search_kwargs cannot carry 'engine': the service manages "
+                "per-scheme search engines itself"
+            )
+        self._map_kwargs = dict(map_kwargs or {})
+        if "engine" in self._map_kwargs:
+            from repro.util.checks import ValidationError
+
+            raise ValidationError(
+                "map_kwargs cannot carry 'engine': the service manages "
                 "per-scheme search engines itself"
             )
         self._search_engines: dict = {}  # scheme cache_key → ExecutionEngine
@@ -451,6 +460,52 @@ class AlignmentService:
             task.add_done_callback(self._inflight.discard)
             return await req.future
 
+    async def submit_map(
+        self,
+        query,
+        *,
+        priority=Priority.NORMAL,
+        timeout: float | None = None,
+        partial: bool = False,
+        **overrides,
+    ):
+        """Read placements for one read (requires ``database=``).
+
+        Routed to :func:`repro.mapping.map_one` on a dispatch thread;
+        returns the read's deduped placements, best first.  ``overrides``
+        update the service's default ``map_kwargs`` (mapping fields like
+        ``k``/``traceback`` and search fields like ``min_score`` both
+        work; ``config=`` passes a whole
+        :class:`~repro.mapping.MappingConfig`).  Admission control,
+        priorities, deadlines and SLO accounting are shared with every
+        other request kind.
+
+        ``partial=True`` returns the *pre-dedup* per-read placement lists
+        (each placement still carrying its source hit) instead — the form
+        a :class:`~repro.shard.router.ShardRouter` merges across shards
+        with :func:`repro.mapping.merge_mapped`.
+        """
+        from repro.util.checks import ValidationError
+
+        if self._database is None:
+            raise ValidationError("service was created without a database")
+        if "engine" in overrides:
+            raise ValidationError(
+                "submit_map cannot override 'engine': the service manages "
+                "per-scheme search engines itself"
+            )
+        meta = dict(self._map_kwargs)
+        meta.update(overrides)
+        meta["__partial__"] = partial
+        tracer = get_tracer()
+        with tracer.span("serve.submit_map"):
+            req = self._admit("map", query, None, priority, timeout, meta=meta)
+            req.trace = tracer.inject()
+            task = self._loop.create_task(self._run_map(req))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            return await req.future
+
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, bucket, cause: str):
         now = self._loop.time()
@@ -615,6 +670,57 @@ class AlignmentService:
             return
         if not req.future.done():
             req.future.set_result(hits)
+            latency = self._loop.time() - req.submitted
+            self.stats.note_complete(latency)
+            self._slo_observe(req, latency_s=latency)
+
+    def _execute_map(self, req: PendingRequest, engine, cfg, partial: bool):
+        """Runs on a dispatch thread: deadline gate, then the mapping."""
+        from repro.mapping import map_one, shard_map_placements
+        from repro.util.encoding import encode
+
+        now = self._loop.time()
+        if req.deadline is not None and now >= req.deadline:
+            return _EXPIRED
+        tracer = get_tracer()
+        with tracer.activate(req.trace), tracer.span(
+            "serve.execute_map", partial=partial
+        ):
+            if partial:
+                per_read, _stats, _ext = shard_map_placements(
+                    [encode(req.query)], self._database, cfg, engine=engine
+                )
+                return per_read
+            return map_one(req.query, self._database, engine=engine, config=cfg)
+
+    async def _run_map(self, req: PendingRequest):
+        from repro.mapping import resolve_config
+
+        kwargs = dict(req.meta)
+        partial = kwargs.pop("__partial__", False)
+        config = kwargs.pop("config", None)
+        cfg = resolve_config(config, **kwargs)
+        engine = self._engine_for_search(cfg.search.resolved_scheme())
+        try:
+            placements = await self._loop.run_in_executor(
+                self._pool, self._execute_map, req, engine, cfg, partial
+            )
+        except Exception as exc:
+            self.stats.note_failed()
+            self._slo_observe(req, error=True)
+            if not req.future.done():
+                req.future.set_exception(exc)
+            return
+        if placements is _EXPIRED:
+            self.stats.note_deadline("execute")
+            self._slo_observe(req, error=True)
+            if not req.future.done():
+                req.future.set_exception(
+                    DeadlineExceededError("deadline passed before execution")
+                )
+            return
+        if not req.future.done():
+            req.future.set_result(placements)
             latency = self._loop.time() - req.submitted
             self.stats.note_complete(latency)
             self._slo_observe(req, latency_s=latency)

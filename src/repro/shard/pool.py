@@ -359,7 +359,7 @@ class ShardWorkerPool:
             # Workers trace under the pool span's position, shipped as a
             # plain carrier dict through the (picklable) command tuple.
             wcarrier = sp.context.to_carrier() if sp.context is not None else None
-            messages = self._gather_search(
+            messages = self._gather(
                 seq, enc_queries, search_cfg, deadline, wcarrier
             )
 
@@ -385,6 +385,102 @@ class ShardWorkerPool:
                 reg.counter(
                     "pool_searches_total",
                     "Pool search rounds, by worker warmth",
+                    labels=("mode",),
+                ).inc(mode="warm" if run.warm else "cold")
+            return merged
+
+    def map_topk(
+        self,
+        reads,
+        *,
+        timeout: float | None = None,
+        carrier: dict | None = None,
+        config=None,
+        **overrides,
+    ) -> list:
+        """Pool-served read mapping: per-read placements, globally merged.
+
+        Each worker runs the full per-shard mapping stage over its own
+        windows of the resident reference — both-strand search plus exact
+        hit extension (:func:`repro.mapping.shard_map_placements`) — and
+        ships back *pre-dedup* placements still carrying their source
+        hits.  The parent merge (:func:`repro.mapping.merge_mapped`)
+        replays the global hit-level top-K before deduping, making the
+        result bit-identical to a single-process
+        ``map_reads(reads, database, ...)`` with the same parameters.
+
+        ``config`` is a :class:`repro.mapping.MappingConfig`; ``overrides``
+        refine it the way :func:`repro.mapping.map_reads` kwargs do.
+        ``carrier`` as in :meth:`search_topk`.
+        """
+        from repro.mapping import DedupStats, merge_mapped, resolve_config
+
+        t_run = time.perf_counter()
+        enc_reads = [encode(r) for r in reads]
+        qmax = max((r.size for r in enc_reads), default=0)
+        if qmax == 0:
+            raise ShardError("pool mapping needs at least one read")
+        cfg = resolve_config(config, **overrides)
+        tracer = get_tracer()
+        with tracer.span(
+            "pool.map_topk",
+            parent=carrier,
+            shards=self.num_shards,
+            reads=len(enc_reads),
+        ) as sp, self._lock:
+            cold = self._ensure_workers() or self._cold_pending
+            self._cold_pending = False
+            search_cfg = replace(cfg.search, hit_window=True).resolved_for(qmax)
+            map_cfg = replace(cfg, search=search_cfg)
+            run = ShardRunStats(
+                num_shards=self.num_shards,
+                warm=not cold,
+                spawn_s=self._last_spawn_s if cold else 0.0,
+                attach_s=max(self.stats.worker_attach_s.values(), default=0.0),
+            )
+            seq = self._next_seq()
+            deadline = self._deadline(timeout)
+            wcarrier = sp.context.to_carrier() if sp.context is not None else None
+            messages = self._gather(
+                seq,
+                enc_reads,
+                search_cfg,
+                deadline,
+                wcarrier,
+                op="map",
+                extra=(map_cfg,),
+            )
+
+            t0 = time.perf_counter()
+            with tracer.span("map.dedup", shards=len(messages)):
+                dd = DedupStats()
+                shard_lists = []
+                for per_read, ws in messages:
+                    run.add(ws)
+                    shard_lists.append(per_read)
+                merged = merge_mapped(
+                    shard_lists,
+                    num_reads=len(enc_reads),
+                    num_oriented=len(enc_reads) * cfg.orientations(),
+                    hit_k=search_cfg.k,
+                    k=cfg.k,
+                    min_score=search_cfg.min_score,
+                    stats=dd,
+                )
+                dd.seconds = time.perf_counter() - t0
+            run.merge_s = time.perf_counter() - t0
+            run.total_s = time.perf_counter() - t_run
+            self.stats.searches += 1
+            if run.warm:
+                self.stats.warm_searches += 1
+            else:
+                self.stats.cold_searches += 1
+            self.stats.last_run = run
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter(
+                    "pool_maps_total",
+                    "Pool mapping rounds, by worker warmth",
                     labels=("mode",),
                 ).inc(mode="warm" if run.warm else "cold")
             return merged
@@ -711,14 +807,24 @@ class ShardWorkerPool:
                     arrivals[msg[1]] = time.monotonic()
         return messages
 
-    def _gather_search(
-        self, seq, enc_queries, search_cfg, deadline, carrier=None
+    def _gather(
+        self,
+        seq,
+        enc_queries,
+        search_cfg,
+        deadline,
+        carrier=None,
+        *,
+        op: str = "search",
+        extra: tuple = (),
     ) -> list:
         """Staggered dispatch + gather: one result per shard, in shard order.
 
-        At most :attr:`max_concurrent` shards hold a live ``search``
-        command at any moment; the next pending shard is dispatched as
-        each result lands, clamping pool concurrency to the host.
+        At most :attr:`max_concurrent` shards hold a live command at any
+        moment; the next pending shard is dispatched as each result
+        lands, clamping pool concurrency to the host.  ``op`` selects the
+        worker command (``search`` / ``map``) and ``extra`` appends its
+        op-specific arguments between the search config and the carrier.
 
         When ``carrier`` is set, each command ships it so the worker
         traces under it; replies carry the worker's finished spans and
@@ -758,14 +864,14 @@ class ShardWorkerPool:
                     if rt.context is not None:
                         shard_carrier = rt.context.to_carrier()
                 self._cmd_qs[shard_id].put(
-                    ("search", seq, enc_queries, search_cfg, shard_carrier)
+                    (op, seq, enc_queries, search_cfg, *extra, shard_carrier)
                 )
                 inflight.add(shard_id)
             try:
                 msg = self._result_q.get(timeout=_POLL_S)
             except queue_mod.Empty:
                 self._liveness_check(
-                    set(range(num)) - set(messages), died_at, deadline, "search"
+                    set(range(num)) - set(messages), died_at, deadline, op
                 )
                 continue
             if msg[2] != seq:

@@ -178,10 +178,12 @@ class ShardRouter:
         overlap: int | None = None,
         max_query: int | None = None,
         search_kwargs: dict | None = None,
+        map_kwargs: dict | None = None,
         slo=None,
         **service_kwargs,
     ):
         self._search_kwargs = dict(search_kwargs or {})
+        self._map_kwargs = dict(map_kwargs or {})
         self.pool = pool
         if services is not None:
             if not services:
@@ -222,6 +224,7 @@ class ShardRouter:
                 AlignmentService(
                     database=shard_dbs[i],
                     search_kwargs=dict(self._search_kwargs),
+                    map_kwargs=dict(self._map_kwargs),
                     slo=slo,
                     **service_kwargs,
                 )
@@ -429,6 +432,89 @@ class ShardRouter:
             for hits in partials:
                 reducer.absorb([hits])
             return reducer.results()[0]
+
+    async def submit_map(
+        self,
+        query,
+        *,
+        priority=Priority.NORMAL,
+        timeout: float | None = None,
+        **overrides,
+    ):
+        """Fan a read-mapping request out to every shard; merge exactly.
+
+        Each shard returns its *pre-dedup* placements (every placement
+        still carrying its source hit), and
+        :func:`repro.mapping.merge_mapped` replays the global hit-level
+        top-K before deduping — identical to a single service holding the
+        whole database, bit for bit.  With a resident ``pool`` the
+        per-shard stage runs on the pool's worker processes instead
+        (same result, no spawn, no payload transfer).  SLO shedding and
+        the all-shards readiness gate mirror :meth:`submit_search` — a
+        partially-merged mapping would silently change the answer.
+        """
+        from repro.mapping import merge_mapped, resolve_config
+
+        priority = Priority(priority)
+        if (
+            self.slo is not None
+            and priority.name in self._shed
+            and self.slo.fast_burn_active()
+        ):
+            self._rejected.inc(cause="shed")
+            self._log.warning(
+                "map shed at router: fast burn-rate alert active",
+                priority=priority.name,
+            )
+            raise ServiceOverloadedError(
+                f"{priority.name} map shed: fast burn-rate alert active"
+            )
+        verdict = self.health.readiness()
+        if not verdict.healthy:
+            self._rejected.inc(cause="unready")
+            self._log.warning(
+                "map rejected: shards unready", failing=verdict.failing()
+            )
+            raise ServiceOverloadedError(
+                f"map rejected, shards unready: {verdict.failing()}"
+            )
+        merged = dict(self._map_kwargs)
+        merged.update(overrides)
+        config = merged.pop("config", None)
+        cfg = resolve_config(config, **merged)
+        tracer = get_tracer()
+        if self.pool is not None:
+            loop = asyncio.get_running_loop()
+            with tracer.span("router.submit_map", shards=self.num_shards):
+                carrier = tracer.inject()
+                results = await loop.run_in_executor(
+                    None,
+                    lambda: self.pool.map_topk(
+                        [query], timeout=timeout, carrier=carrier, config=cfg
+                    ),
+                )
+            return results[0]
+        with tracer.span("router.submit_map", shards=self.num_shards):
+            partials = await asyncio.gather(
+                *(
+                    svc.submit_map(
+                        query,
+                        priority=priority,
+                        timeout=timeout,
+                        partial=True,
+                        config=cfg,
+                    )
+                    for svc in self.services
+                )
+            )
+            return merge_mapped(
+                partials,
+                num_reads=1,
+                num_oriented=cfg.orientations(),
+                hit_k=cfg.search.k,
+                k=cfg.k,
+                min_score=cfg.search.min_score,
+            )[0]
 
     # -- introspection --------------------------------------------------------
     def scrape_registry(self) -> MetricsRegistry:

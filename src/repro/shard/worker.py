@@ -31,6 +31,15 @@ can discard stale replies after a failed run):
   metrics-registry delta since its previous reply (``obs["metrics"]`` —
   counters/histograms only, so cross-process merging never clobbers
   parent gauges) and its wall clock (``obs["wall"]``).
+* ``("map", seq, enc_reads, search_cfg, map_cfg[, carrier])`` → ``("ok",
+  shard_id, seq, per_read_placements, ShardWorkerStats, ts, obs)`` — the
+  full per-shard read-mapping stage
+  (:func:`repro.mapping.shard_map_placements`): both-strand hit search
+  over the shard's windows plus exact traceback extension, returning
+  **pre-dedup** per-read placement lists (each placement still carrying
+  its source hit) for the parent's global merge.  ``map_cfg`` is a
+  resolved :class:`repro.mapping.MappingConfig`; obs/carrier semantics
+  as for ``search``.
 * ``("swap", seq, payload)`` → ``("swapped", shard_id, seq, attach_s,
   ts)`` — attach the new reference payload, then drop the old attachment;
   queries never observe a half-swapped state because the flip happens
@@ -168,28 +177,51 @@ def run_pool_worker(plan: ShardPlan, shard_id: int, payload, cmd_q, out_q) -> No
                             time.monotonic(),
                         )
                     )
-                elif op == "search":
+                elif op in ("search", "map"):
                     enc_queries, search_cfg = cmd[2], cmd[3]
-                    carrier = cmd[4] if len(cmd) > 4 else None
+                    if op == "map":
+                        map_cfg = cmd[4]
+                        carrier = cmd[5] if len(cmd) > 5 else None
+                    else:
+                        carrier = cmd[4] if len(cmd) > 4 else None
                     splan = replace(plan, search=search_cfg)
                     t0 = time.perf_counter()
                     source = resident.chunk_iter(splan, shard_id)
                     if carrier is not None:
                         tracer.enable()
                     with tracer.activate(carrier), tracer.span(
-                        "worker.search", shard=shard_id, queries=len(enc_queries)
+                        f"worker.{op}", shard=shard_id, queries=len(enc_queries)
                     ):
-                        run = search(
-                            enc_queries,
-                            source,
-                            engine=engine,
-                            **search_cfg.search_kwargs(),
-                        )
-                        results = run.topk()
+                        if op == "map":
+                            # The full per-shard mapping stage: both-strand
+                            # search + exact extension, NO dedup — the
+                            # parent's merge replays the global hit top-K
+                            # over these pre-dedup lists (window bases are
+                            # stripped before shipping).
+                            from repro.mapping import shard_map_placements
+
+                            results, pstats, _ext = shard_map_placements(
+                                enc_queries,
+                                source,
+                                map_cfg,
+                                search_cfg,
+                                engine=engine,
+                            )
+                            count = sum(len(p) for p in results)
+                        else:
+                            run = search(
+                                enc_queries,
+                                source,
+                                engine=engine,
+                                **search_cfg.search_kwargs(),
+                            )
+                            results = run.topk()
+                            pstats = run.stats
+                            count = sum(len(hits) for hits in results)
                     stats = ShardWorkerStats.from_pipeline(
                         shard_id,
-                        run.stats,
-                        hits=sum(len(hits) for hits in results),
+                        pstats,
+                        hits=count,
                         search_s=time.perf_counter() - t0,
                     )
                     spans = []

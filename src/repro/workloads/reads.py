@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.util.checks import ValidationError, check_positive
+from repro.util.encoding import reverse_complement
 from repro.util.rng import make_rng
 from repro.workloads.genomes import random_genome
 
@@ -44,14 +45,25 @@ class ReadSet:
 
     ``reads[k]`` aligns against ``windows[k]`` — windows are the true
     sampling positions padded by ``padding`` bases on each side, so
-    semi-global alignment recovers the read placement.
+    semi-global alignment recovers the read placement.  A read sampled
+    from the reverse strand (``strands[k] == 1``) is stored
+    reverse-complemented, and its window is reverse-complemented into
+    the *read's* orientation too, so the align-to-window invariant holds
+    for both strands.
+
+    The per-read ground truth a mapper is judged against lives in
+    :meth:`origins`: ``(record, position, strand)`` per read, where
+    ``position`` is always the forward-reference start of the sampled
+    segment (for either strand).
     """
 
-    reads: np.ndarray  # (count, read_len) uint8
-    windows: np.ndarray  # (count, window_len) uint8
-    positions: np.ndarray  # (count,) sampling offsets in the reference
+    reads: np.ndarray  # (count, read_len) uint8, read orientation
+    windows: np.ndarray  # (count, window_len) uint8, read orientation
+    positions: np.ndarray  # (count,) forward sampling offsets in the reference
     read_length: int
     padding: int
+    strands: np.ndarray | None = None  # (count,) 0 = forward, 1 = reverse
+    record: str = "ref"  # reference record name for mapper ground truth
     meta: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
@@ -62,6 +74,26 @@ class ReadSet:
         """DP cells per full-batch alignment run."""
         return int(self.reads.shape[1]) * int(self.windows.shape[1]) * len(self)
 
+    @property
+    def reference(self) -> np.ndarray | None:
+        """The encoded reference the reads were sampled from, if kept."""
+        return self.meta.get("reference")
+
+    def strand_of(self, k: int) -> str:
+        return "-" if self.strands is not None and self.strands[k] else "+"
+
+    def origins(self) -> list[tuple[str, int, str]]:
+        """Per-read ground truth, mapper-shaped: ``(record, position, strand)``.
+
+        ``position`` is the forward-reference offset where the sampled
+        segment starts — exactly what a correct placement's ``ref_start``
+        should (approximately, modulo end errors) recover.
+        """
+        return [
+            (self.record, int(self.positions[k]), self.strand_of(k))
+            for k in range(len(self))
+        ]
+
 
 def simulate_reads(
     reference: np.ndarray,
@@ -70,6 +102,8 @@ def simulate_reads(
     profile: IlluminaProfile | None = None,
     padding: int = 8,
     seed=None,
+    strands=None,
+    record: str = "ref",
 ) -> ReadSet:
     """Sample ``count`` reads of ``read_length`` from ``reference``.
 
@@ -77,6 +111,12 @@ def simulate_reads(
     maintained by rebalancing indels (an insertion drops the last base, a
     deletion pulls one reference base in), which matches real fixed-cycle
     Illumina output.
+
+    ``strands`` (optional, per-read 0/1) samples marked reads from the
+    reverse strand: the forward segment is reverse-complemented *before*
+    the error model runs, so the substitution ramp degrades toward the
+    read's own 3′ end, as on the machine.  ``positions`` still record the
+    forward-reference start of the sampled segment for every read.
     """
     check_positive(count, "count")
     check_positive(read_length, "read_length")
@@ -84,17 +124,28 @@ def simulate_reads(
     profile = profile or IlluminaProfile()
     if reference.size < read_length + 2 * padding + 2:
         raise ValidationError("reference too short for requested reads")
+    if strands is not None:
+        strands = np.asarray(strands, dtype=np.uint8)
+        if strands.shape != (count,):
+            raise ValidationError(f"strands must have shape ({count},)")
     rng = make_rng(seed)
 
+    # Reverse reads rebalance deletions with the base *upstream* of the
+    # forward segment, so sampling must leave one base of headroom there.
+    start_lo = padding if strands is None else max(padding, 1)
     max_start = reference.size - read_length - padding - 1
-    positions = rng.integers(padding, max_start, size=count)
+    positions = rng.integers(start_lo, max_start, size=count)
     reads = np.empty((count, read_length), dtype=np.uint8)
     sub_rate = profile.sub_rate(read_length)
 
     for k in range(count):
         pos = int(positions[k])
-        # Grab one extra base so a deletion can be rebalanced.
-        raw = reference[pos : pos + read_length + 1].copy()
+        # Grab one extra base downstream (in read orientation) so a
+        # deletion can be rebalanced.
+        if strands is not None and strands[k]:
+            raw = reverse_complement(reference[pos - 1 : pos + read_length])
+        else:
+            raw = reference[pos : pos + read_length + 1].copy()
         read = raw[:read_length].copy()
         # Substitutions with a positional ramp.
         mask = rng.random(read_length) < sub_rate
@@ -117,7 +168,12 @@ def simulate_reads(
     windows = np.empty((count, window_len), dtype=np.uint8)
     for k in range(count):
         pos = int(positions[k])
-        windows[k] = reference[pos - padding : pos - padding + window_len]
+        win = reference[pos - padding : pos - padding + window_len]
+        # Keep the align-to-window invariant for reverse reads by storing
+        # the window in the read's orientation.
+        if strands is not None and strands[k]:
+            win = reverse_complement(win)
+        windows[k] = win
 
     return ReadSet(
         reads=reads,
@@ -125,7 +181,13 @@ def simulate_reads(
         positions=positions,
         read_length=read_length,
         padding=padding,
-        meta={"profile": profile, "reference_length": int(reference.size)},
+        strands=strands,
+        record=record,
+        meta={
+            "profile": profile,
+            "reference": reference,
+            "reference_length": int(reference.size),
+        },
     )
 
 
@@ -135,12 +197,19 @@ def read_pairs(
     reference_length: int = 100_000,
     seed=None,
 ) -> ReadSet:
-    """Convenience: synthetic reference + simulated reads in one call.
+    """Convenience: synthetic reference + simulated read pairs in one call.
 
     This is the paper's second benchmark workload at configurable scale
     (the paper uses 12.5 M pairs; benchmarks here default to thousands,
-    recorded in EXPERIMENTS.md).
+    recorded in EXPERIMENTS.md).  Reads come in mate pairs: every odd
+    index is the reverse-complemented mate of a pair, so strand-aware
+    mapping is actually exercised — :meth:`ReadSet.origins` carries the
+    per-read ``(record, position, strand)`` ground truth and
+    ``ReadSet.reference`` the genome to map against.
     """
     rng = make_rng(seed)
     ref = random_genome(reference_length, seed=rng)
-    return simulate_reads(ref, count, read_length=read_length, seed=rng)
+    strands = (np.arange(count) % 2).astype(np.uint8)  # mate 2 is reverse
+    return simulate_reads(
+        ref, count, read_length=read_length, seed=rng, strands=strands
+    )

@@ -1,0 +1,205 @@
+"""Tests for CIGAR algebra (repro.mapping.cigar).
+
+The load-bearing property: ``from_alignment`` + ``apply_cigar``
+round-trip bit-for-bit against ``core.traceback`` output for every
+scheme family (global/local/semiglobal x linear/affine), so everything
+downstream (dedup identity, reporting, accuracy accounting) can trust a
+placement's CIGAR as a complete record of its alignment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    affine_gap_scoring,
+    global_scheme,
+    linear_gap_scoring,
+    local_scheme,
+    semiglobal_scheme,
+    simple_subst_scoring,
+)
+from repro.core.traceback import align_linear_space
+from repro.mapping.cigar import (
+    apply_cigar,
+    cigar_string,
+    edit_stats,
+    from_alignment,
+    parse_cigar,
+    query_span,
+    ref_span,
+    validate_cigar,
+)
+from repro.util.checks import ValidationError
+from repro.util.encoding import encode
+
+SUB = simple_subst_scoring(2, -1)
+LINEAR = linear_gap_scoring(SUB, -1)
+AFFINE = affine_gap_scoring(SUB, -2, -1)
+
+SCHEMES = {
+    "global-linear": global_scheme(LINEAR),
+    "global-affine": global_scheme(AFFINE),
+    "local-linear": local_scheme(LINEAR),
+    "local-affine": local_scheme(AFFINE),
+    "semiglobal-linear": semiglobal_scheme(LINEAR),
+    "semiglobal-affine": semiglobal_scheme(AFFINE),
+}
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+
+class TestParseRoundTrip:
+    def test_parse_and_string_are_inverse(self):
+        for text in ("10M", "5S20M2I3D5S", "1M1I1M1D1M", ""):
+            assert cigar_string(parse_cigar(text)) == text
+
+    def test_parse_rejects_junk(self):
+        for bad in ("10", "M", "10X", "3M x", "3M4", "-3M", "3m"):
+            with pytest.raises(ValidationError):
+                parse_cigar(bad)
+
+    def test_parse_rejects_zero_length(self):
+        with pytest.raises(ValidationError):
+            parse_cigar("0M5I")
+
+    def test_empty_is_empty(self):
+        assert parse_cigar("") == ()
+        assert cigar_string(()) == ""
+
+
+class TestValidate:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValidationError):
+            validate_cigar((("X", 3),))
+
+    def test_rejects_non_positive_runs(self):
+        with pytest.raises(ValidationError):
+            validate_cigar((("M", 0),))
+        with pytest.raises(ValidationError):
+            validate_cigar((("M", -2),))
+
+    def test_rejects_unmerged_runs(self):
+        with pytest.raises(ValidationError):
+            validate_cigar((("M", 3), ("M", 4)))
+
+    def test_rejects_interior_soft_clip(self):
+        with pytest.raises(ValidationError):
+            validate_cigar((("M", 3), ("S", 2), ("M", 1)))
+
+    def test_rejects_query_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            validate_cigar(parse_cigar("10M"), query_len=12)
+
+    def test_accepts_canonical(self):
+        ops = parse_cigar("2S10M1I3M2D4M1S")
+        assert validate_cigar(ops, query_len=2 + 10 + 1 + 3 + 4 + 1) == ops
+
+
+class TestSpans:
+    def test_span_arithmetic(self):
+        ops = parse_cigar("2S10M1I3M2D4M1S")
+        assert query_span(ops) == 2 + 10 + 1 + 3 + 4 + 1
+        assert ref_span(ops) == 10 + 3 + 2 + 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_spans_match_alignment_coordinates(self, q, s):
+        for scheme in SCHEMES.values():
+            res = align_linear_space(encode(q), encode(s), scheme)
+            ops = from_alignment(res, len(q))
+            assert query_span(ops) == len(q)
+            assert ref_span(ops) == res.subject_end - res.subject_start
+
+
+class TestRoundTrip:
+    """from_alignment + apply_cigar reconstruct traceback output exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(dna, dna)
+    def test_reconstructs_alignment(self, q, s):
+        eq, es = encode(q), encode(s)
+        for name, scheme in SCHEMES.items():
+            res = align_linear_space(eq, es, scheme)
+            ops = from_alignment(res, len(q))
+            qa, sa = apply_cigar(ops, eq, es, ref_start=res.subject_start)
+            assert qa == res.query_aligned, name
+            assert sa == res.subject_aligned, name
+
+    def test_soft_clips_cover_local_trim(self):
+        # A read whose middle matches but whose ends are junk: local
+        # alignment trims both ends, and the CIGAR records them as clips.
+        q = "TTTT" + "ACGTACGTACGT" + "AAAA"
+        s = "GGGG" + "ACGTACGTACGT" + "CCCC"
+        res = align_linear_space(encode(q), encode(s), SCHEMES["local-affine"])
+        ops = from_alignment(res, len(q))
+        assert ops[0][0] == "S" and ops[-1][0] == "S"
+        qa, sa = apply_cigar(ops, encode(q), encode(s), ref_start=res.subject_start)
+        assert (qa, sa) == (res.query_aligned, res.subject_aligned)
+
+    def test_affine_gap_is_single_run(self):
+        # Affine scoring keeps a 3-base deletion as one run instead of
+        # scattering it; the CIGAR must reflect one D run.
+        q = "ACGTACGTACGT"
+        s = "ACGTAC" + "GGG" + "GTACGT"
+        res = align_linear_space(encode(q), encode(s), SCHEMES["global-affine"])
+        ops = from_alignment(res, len(q))
+        assert ("D", 3) in ops
+        qa, sa = apply_cigar(ops, encode(q), encode(s))
+        assert (qa, sa) == (res.query_aligned, res.subject_aligned)
+
+    def test_single_base_borders(self):
+        for qs, ss in (("A", "A"), ("A", "C"), ("A", "ACGT"), ("ACGT", "A")):
+            for name, scheme in SCHEMES.items():
+                res = align_linear_space(encode(qs), encode(ss), scheme)
+                ops = from_alignment(res, len(qs))
+                qa, sa = apply_cigar(
+                    ops, encode(qs), encode(ss), ref_start=res.subject_start
+                )
+                assert (qa, sa) == (res.query_aligned, res.subject_aligned), name
+
+    def test_overrun_is_rejected(self):
+        q, s = encode("ACGT"), encode("ACGT")
+        with pytest.raises(ValidationError):
+            apply_cigar(parse_cigar("5M"), q, s)
+        with pytest.raises(ValidationError):
+            apply_cigar(parse_cigar("4M"), q, s, ref_start=1)
+        with pytest.raises(ValidationError):
+            apply_cigar(parse_cigar("4M1I"), q, s)
+
+
+class TestEditStats:
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_identity_matches_alignment_result(self, q, s):
+        eq, es = encode(q), encode(s)
+        for name, scheme in SCHEMES.items():
+            res = align_linear_space(eq, es, scheme)
+            ops = from_alignment(res, len(q))
+            stats = edit_stats(ops, eq, es, ref_start=res.subject_start)
+            assert stats["identity"] == pytest.approx(res.identity()), name
+            assert stats["columns"] == len(res.query_aligned), name
+
+    def test_counts(self):
+        q = encode("AACGT")
+        s = encode("ACGTT")
+        #      q: A ACG- T
+        #      s: - ACGT T  (1 del of A, 1 ins of T ... constructed directly)
+        ops = parse_cigar("1I3M1D1M")
+        stats = edit_stats(ops, q, s)
+        assert stats["insertions"] == 1
+        assert stats["deletions"] == 1
+        assert stats["matches"] == 4
+        assert stats["mismatches"] == 0
+        assert stats["edits"] == 2
+        assert stats["columns"] == 6
+
+    def test_clips_excluded_from_columns(self):
+        q = encode("TTACGTTT")
+        s = encode("ACGT")
+        ops = parse_cigar("2S4M2S")
+        stats = edit_stats(ops, q, s)
+        assert stats["clipped"] == 4
+        assert stats["columns"] == 4
+        assert stats["identity"] == 1.0
